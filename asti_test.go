@@ -1,0 +1,234 @@
+package asti_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asti"
+)
+
+func testNetwork(t testing.TB) *asti.Graph {
+	t.Helper()
+	g, err := asti.GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPublicEndToEnd is the quickstart flow through the public API only.
+func TestPublicEndToEnd(t *testing.T) {
+	g := testNetwork(t)
+	eta := int64(float64(g.N()) * 0.05)
+	policy, err := asti.NewASTI(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := asti.SampleRealization(g, asti.IC, 42)
+	res, err := asti.RunAdaptive(g, asti.IC, eta, policy, world, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta || !res.ReachedEta {
+		t.Fatalf("spread %d below η=%d", res.Spread, eta)
+	}
+	if len(res.Seeds) == 0 || len(res.Rounds) == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// TestPublicBatchAndBaselines covers every public policy constructor.
+func TestPublicBatchAndBaselines(t *testing.T) {
+	g := testNetwork(t)
+	eta := int64(30)
+	world := asti.SampleRealization(g, asti.LT, 7)
+
+	for name, mk := range map[string]func() (asti.Policy, error){
+		"ASTI":    func() (asti.Policy, error) { return asti.NewASTI(0.5) },
+		"ASTI-4":  func() (asti.Policy, error) { return asti.NewASTIBatch(0.5, 4) },
+		"AdaptIM": func() (asti.Policy, error) { return asti.NewAdaptIM(0.5) },
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := asti.RunAdaptive(g, asti.LT, eta, p, world, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Spread < eta {
+			t.Fatalf("%s: spread %d", name, res.Spread)
+		}
+	}
+
+	S, err := asti.SelectNonAdaptive(g, asti.LT, eta, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(S) == 0 {
+		t.Fatal("ATEUC returned no seeds")
+	}
+	spread, _ := asti.EvaluateSeedSet(world, S, eta)
+	if spread <= 0 {
+		t.Fatal("fixed-set evaluation returned nothing")
+	}
+}
+
+// TestPublicConstructorValidation: bad parameters must be rejected at
+// construction, not at run time.
+func TestPublicConstructorValidation(t *testing.T) {
+	if _, err := asti.NewASTI(0); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := asti.NewASTIBatch(0.5, 0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := asti.NewAdaptIM(1.5); err == nil {
+		t.Error("ε>1 accepted")
+	}
+	if _, err := asti.GenerateDataset("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := asti.GenerateDataset("synth-nethept", 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+// TestPublicGraphRoundTrip: builder → save → load through the façade.
+func TestPublicGraphRoundTrip(t *testing.T) {
+	b := asti.NewGraphBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.7)
+	g, err := b.Build("tri", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := asti.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := asti.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 || g2.M() != 2 {
+		t.Fatalf("round trip: n=%d m=%d", g2.N(), g2.M())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := asti.ReadGraph(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.M() != g2.M() {
+		t.Fatal("ReadGraph disagrees with LoadGraph")
+	}
+}
+
+// TestPublicEstimators: the truncated estimator is bounded by η and by
+// the vanilla estimator.
+func TestPublicEstimators(t *testing.T) {
+	g := testNetwork(t)
+	seeds := []int32{0, 1}
+	eta := int64(5)
+	vanilla := asti.ExpectedSpread(g, asti.IC, seeds, 3000, 1)
+	trunc := asti.ExpectedTruncatedSpread(g, asti.IC, seeds, eta, 3000, 1)
+	if trunc > float64(eta)+1e-9 {
+		t.Fatalf("E[Γ] = %v exceeds η", trunc)
+	}
+	if trunc > vanilla+0.35 { // estimates use independent samples
+		t.Fatalf("E[Γ] = %v exceeds E[I] = %v", trunc, vanilla)
+	}
+	if vanilla < 2 {
+		t.Fatalf("E[I] = %v below seed count", vanilla)
+	}
+}
+
+// TestPublicExample23 reproduces the paper's Example 2.3 through the
+// public API (same graph as examples/whatif).
+func TestPublicExample23(t *testing.T) {
+	b := asti.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build("ex23", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := asti.ExpectedSpread(g, asti.IC, []int32{0}, 100000, 3)
+	if math.Abs(v1-2.75) > 0.05 {
+		t.Fatalf("E[I(v1)] = %v, want ≈2.75", v1)
+	}
+	t1 := asti.ExpectedTruncatedSpread(g, asti.IC, []int32{0}, 2, 100000, 4)
+	if math.Abs(t1-1.75) > 0.05 {
+		t.Fatalf("E[Γ(v1)] = %v, want ≈1.75", t1)
+	}
+}
+
+func TestValidateLTPublic(t *testing.T) {
+	b := asti.NewGraphBuilder(3)
+	b.AddEdge(0, 2, 0.8)
+	b.AddEdge(1, 2, 0.8)
+	g, err := b.Build("bad-lt", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asti.ValidateLT(g); err == nil {
+		t.Fatal("LT violation not detected")
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	if asti.PolicyName(1) != "ASTI" || asti.PolicyName(8) != "ASTI-8" {
+		t.Fatal("policy naming wrong")
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	if len(asti.Datasets()) != 4 {
+		t.Fatal("want 4 registered datasets")
+	}
+}
+
+// TestEvaluatePolicyFacade: the multi-world evaluation helper through the
+// public API, paired against a fixed set.
+func TestEvaluatePolicyFacade(t *testing.T) {
+	g := testNetwork(t)
+	sum, err := asti.EvaluatePolicy(g, asti.IC, 25,
+		func() (asti.Policy, error) { return asti.NewASTI(0.5) }, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Worlds != 4 || sum.MeanSpread() < 25 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	S, err := asti.SelectNonAdaptive(g, asti.IC, 25, 0.5, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, misses := asti.EvaluateFixedSeedSet(g, asti.IC, 25, S, 4, 77)
+	if len(fixed.Spreads) != 4 || misses < 0 {
+		t.Fatalf("fixed summary malformed")
+	}
+}
+
+// TestMaximizeInfluenceFacade: the dual IM capability through the façade.
+func TestMaximizeInfluenceFacade(t *testing.T) {
+	g := testNetwork(t)
+	res, err := asti.MaximizeInfluence(g, asti.IC, 3, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 || res.SpreadLB <= 0 {
+		t.Fatalf("IM result malformed: %+v", res)
+	}
+	if _, err := asti.MaximizeInfluence(g, asti.IC, 0, 0.5, 9); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

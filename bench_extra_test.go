@@ -1,0 +1,176 @@
+package asti_test
+
+// Micro-benchmarks for the subsystems beyond the paper's core pipeline:
+// centrality rankings, the sketch oracle, IMM, the binary codec, and the
+// parallel evaluator. These track the throughput claims their doc
+// comments make (near-linear builds, O(k) queries, mmap-fast codec).
+
+import (
+	"asti"
+	"bytes"
+	"io"
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/centrality"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/imm"
+	"asti/internal/rng"
+	"asti/internal/sketch"
+	"asti/internal/trim"
+)
+
+// BenchmarkHeuristics regenerates the heuristic-comparison experiment.
+func BenchmarkHeuristics(b *testing.B) { benchExperiment(b, "heuristics") }
+
+// BenchmarkAblationAdaptivity regenerates the exact adaptivity-gap table
+// (§4.2 Remark).
+func BenchmarkAblationAdaptivity(b *testing.B) { benchExperiment(b, "ablation-adaptivity") }
+
+// BenchmarkSignificance regenerates the paired-inference report.
+func BenchmarkSignificance(b *testing.B) { benchExperiment(b, "significance") }
+
+// BenchmarkPageRank measures a full power-iteration PageRank.
+func BenchmarkPageRank(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := centrality.PageRank(g, centrality.PageRankOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKCore measures the bucket-sort core decomposition.
+func BenchmarkKCore(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := centrality.KCore(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreeDiscount measures a 50-seed degree-discount ranking.
+func BenchmarkDegreeDiscount(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := centrality.DegreeDiscountIC(g, 50, 0.1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchOracleBuild measures building a 32×32 sketch oracle.
+func BenchmarkSketchOracleBuild(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sketch.BuildOracle(g, diffusion.IC,
+			sketch.Options{Instances: 32, K: 32}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSketchEstimateAll measures whole-graph estimation from a
+// prebuilt oracle (the query-side cost).
+func BenchmarkSketchEstimateAll(b *testing.B) {
+	g := benchGraph(b)
+	o, err := sketch.BuildOracle(g, diffusion.IC, sketch.Options{Instances: 32, K: 32}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.EstimateAll()
+	}
+}
+
+// BenchmarkIMM measures a complete IMM run (k=10).
+func BenchmarkIMM(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := imm.Select(g, diffusion.IC, 10,
+			imm.Options{Epsilon: 0.5}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryWrite measures the binary codec's serialization.
+func BenchmarkBinaryWrite(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graph.WriteBinary(io.Discard, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBinaryRead measures the binary codec's parse + CSR build.
+func BenchmarkBinaryRead(b *testing.B) {
+	g := benchGraph(b)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextRead measures the text codec on the same graph, the
+// baseline the binary codec's doc comment compares against.
+func BenchmarkTextRead(b *testing.B) {
+	g := benchGraph(b)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.ReadEdgeList(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateParallel4 measures the parallel evaluator at 4 workers
+// against BenchmarkEvaluateSequential's same workload.
+func BenchmarkEvaluateParallel4(b *testing.B) {
+	benchEvaluate(b, 4)
+}
+
+// BenchmarkEvaluateSequential is the single-worker reference.
+func BenchmarkEvaluateSequential(b *testing.B) {
+	benchEvaluate(b, 1)
+}
+
+func benchEvaluate(b *testing.B, workers int) {
+	b.Helper()
+	g, err := asti.GenerateDataset("synth-nethept", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.05)
+	factory := func() (adaptive.Policy, error) {
+		return trim.New(trim.Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adaptive.EvaluateParallel(g, diffusion.IC, eta, factory, 8, workers, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"asti/internal/gen"
+	"asti/internal/graph"
+)
+
+func TestMakePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"ASTI", "ASTI"},
+		{"asti", "ASTI"},
+		{"ASTI-8", "ASTI-8"},
+		{"asti-2", "ASTI-2"},
+		{"AdaptIM", "AdaptIM"},
+		{"Degree", "Degree"},
+		{"random", "Random"},
+		{"MCGreedy", "MCGreedy"},
+		{"celf", "CELFGreedy"},
+	}
+	for _, c := range cases {
+		p, err := makePolicy(c.in, 0.5, 0)
+		if err != nil {
+			t.Errorf("makePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("makePolicy(%q).Name() = %q, want %q", c.in, p.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "TRIM", "ASTI-", "ASTI-0", "ASTI-x"} {
+		if _, err := makePolicy(bad, 0.5, 0); err == nil {
+			t.Errorf("makePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFromDataset(t *testing.T) {
+	err := run("synth-nethept", "", 0.05, "IC", "ASTI", 0, 0.05, 0.5, 0, 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunATEUCPath(t *testing.T) {
+	err := run("synth-nethept", "", 0.05, "LT", "ATEUC", 0, 0.05, 0.5, 0, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "f", N: 300, AvgDeg: 2, UniformMix: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := graph.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, 1, "IC", "ASTI-4", 20, 0, 0.5, 0, 2, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no-such-dataset", "", 1, "IC", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("synth-nethept", "", 0.05, "XY", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("synth-nethept", "", 0.05, "IC", "nope", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run("", "/no/such/file", 1, "IC", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}

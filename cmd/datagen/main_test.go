@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asti/internal/graph"
+)
+
+func TestListMode(t *testing.T) {
+	if err := run(true, "", false, "", "", 1, false, 0, 0, false, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateOneDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.edges")
+	if err := run(false, "synth-nethept", false, "", out, 0.02, false, 0, 0, false, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 100 {
+		t.Fatalf("generated graph too small: n=%d", g.N())
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(false, "", true, dir, "", 0.01, false, 0, 0, false, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("want 4 dataset files, got %d", len(entries))
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.edges")
+	if err := run(false, "", false, "", out, 1, true, 500, 2.5, true, 0.3, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("custom n = %d", g.N())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(false, "", false, "", "", 1, false, 0, 0, false, 0, 0, 0); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run(false, "nope", false, "", "", 1, false, 0, 0, false, 0, 0, 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run(false, "", false, "", filepath.Join(t.TempDir(), "c.edges"), 1, true, 1, 2, false, 0.3, 1, 7); err == nil {
+		t.Error("custom n=1 accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "ablation-adaptivity", "-profile", "tiny", "-quiet"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OPT(b=1)") {
+		t.Fatalf("report malformed:\n%s", out.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out, errw bytes.Buffer
+	args := []string{"-exp", "table2", "-profile", "tiny", "-quiet", "-o", path}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table 2") {
+		t.Fatalf("file report malformed:\n%s", data)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty when -o is set:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-profile", "bogus"}, &out, &errw); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run([]string{"-exp", "bogus", "-profile", "tiny"}, &out, &errw); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out, &errw); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

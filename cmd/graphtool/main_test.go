@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asti/internal/gen"
+	"asti/internal/graph"
+)
+
+// capture runs the tool with args, returning stdout content.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	g, err := gen.ErdosRenyi("fixture", 50, 4, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.edges")
+	if err := graph.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStats(t *testing.T) {
+	path := writeFixture(t)
+	out, err := capture(t, "-graph", path, "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nodes:", "edges:", "largest WCC:", "degeneracy:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	out, err := capture(t, "-dataset", "synth-nethept", "-scale", "0.05", "degrees")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "degree bin") {
+		t.Fatalf("degrees output malformed:\n%s", out)
+	}
+}
+
+func TestTopRankings(t *testing.T) {
+	path := writeFixture(t)
+	for _, by := range []string{"pagerank", "degree", "core"} {
+		out, err := capture(t, "-graph", path, "-by", by, "-k", "5", "top")
+		if err != nil {
+			t.Fatalf("%s: %v", by, err)
+		}
+		if !strings.Contains(out, "top 5 by "+by) {
+			t.Fatalf("%s output malformed:\n%s", by, out)
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	path := writeFixture(t)
+	out, err := capture(t, "-graph", path, "-seeds", "0,1,2", "-samples", "200", "spread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E[I(S)]") {
+		t.Fatalf("spread output malformed:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeFixture(t)
+	cases := [][]string{
+		{"stats"},                 // no graph source
+		{"-graph", path},          // no command
+		{"-graph", path, "bogus"}, // unknown command
+		{"-graph", path, "-dataset", "x", "stats"},              // both sources
+		{"-graph", path, "spread"},                              // no seeds
+		{"-graph", path, "-seeds", "9999", "spread"},            // out of range
+		{"-graph", path, "-seeds", "a,b", "spread"},             // unparsable
+		{"-graph", path, "-by", "bogus", "top"},                 // unknown ranking
+		{"-graph", path, "-model", "bogus", "spread"},           // unknown model
+		{"-graph", path, "-k", "0", "top"},                      // bad k
+		{"-graph", filepath.Join(t.TempDir(), "nope"), "stats"}, // missing file
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v did not error", args)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	out, err := capture(t, "-dataset", "synth-nethept", "-scale", "0.05", "chart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"degree distribution", "fraction of nodes", "log10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package asti_test
+
+import (
+	"fmt"
+	"log"
+
+	"asti"
+)
+
+// ExampleComputeAdaptivityGap computes exact optima on a toy instance:
+// the hub's outcome decides the follow-up, so batching strictly hurts.
+func ExampleComputeAdaptivityGap() {
+	b := asti.NewGraphBuilder(5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	g, err := b.Build("gap", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gap, err := asti.ComputeAdaptivityGap(g, 3, []int{2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential OPT %.2f, batched(b=2) OPT %.2f, robust non-adaptive %d seeds\n",
+		gap.Adaptive, gap.Batched[2], gap.NonAdaptiveRobust)
+	// Output:
+	// sequential OPT 2.00, batched(b=2) OPT 2.50, robust non-adaptive 3 seeds
+}
+
+// ExamplePageRank ranks a network where everyone points at node 0.
+func ExamplePageRank() {
+	b := asti.NewGraphBuilder(4)
+	for v := int32(1); v < 4; v++ {
+		b.AddEdge(v, 0, 0.5)
+	}
+	g, err := b.Build("instar", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := asti.PageRank(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := 0
+	for v, s := range scores {
+		if s > scores[best] {
+			best = v
+		}
+	}
+	fmt.Println("most central node:", best)
+	// Output:
+	// most central node: 0
+}
+
+// ExampleCoreNumbers peels a clique with a pendant vertex.
+func ExampleCoreNumbers() {
+	b := asti.NewGraphBuilder(5)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddUndirected(u, v, 0.5)
+		}
+	}
+	b.AddUndirected(0, 4, 0.5)
+	g, err := b.Build("clique+pendant", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core, err := asti.CoreNumbers(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clique member core %d, pendant core %d\n", core[1], core[4])
+	// Output:
+	// clique member core 6, pendant core 2
+}

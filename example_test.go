@@ -1,0 +1,70 @@
+package asti_test
+
+import (
+	"fmt"
+
+	"asti"
+)
+
+// ExampleRunAdaptive demonstrates the core loop on a deterministic chain
+// 0→1→2→3: seeding the head always alerts the whole chain, so one seed
+// meets η = 3 in every world.
+func ExampleRunAdaptive() {
+	b := asti.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build("chain", true)
+	if err != nil {
+		panic(err)
+	}
+	policy, err := asti.NewASTI(0.3)
+	if err != nil {
+		panic(err)
+	}
+	world := asti.SampleRealization(g, asti.IC, 1)
+	res, err := asti.RunAdaptive(g, asti.IC, 3, policy, world, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reached threshold:", res.ReachedEta)
+	fmt.Println("seeds used:", len(res.Seeds))
+	// Output:
+	// reached threshold: true
+	// seeds used: 1
+}
+
+// ExampleExpectedTruncatedSpread reproduces the paper's Example 2.3
+// arithmetic: E[Γ(v1)] = 1.75 with η = 2.
+func ExampleExpectedTruncatedSpread() {
+	b := asti.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build("example-2.3", true)
+	if err != nil {
+		panic(err)
+	}
+	trunc := asti.ExpectedTruncatedSpread(g, asti.IC, []int32{0}, 2, 400000, 7)
+	fmt.Printf("E[Γ(v1)] ≈ %.2f\n", trunc)
+	// Output:
+	// E[Γ(v1)] ≈ 1.75
+}
+
+// ExampleEvaluateSeedSet shows scoring a fixed (non-adaptive) seed set on
+// one realization — the way the ATEUC baseline is measured.
+func ExampleEvaluateSeedSet() {
+	b := asti.NewGraphBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, err := b.Build("line", true)
+	if err != nil {
+		panic(err)
+	}
+	world := asti.SampleRealization(g, asti.IC, 3)
+	spread, reached := asti.EvaluateSeedSet(world, []int32{0}, 3)
+	fmt.Println(spread, reached)
+	// Output:
+	// 3 true
+}

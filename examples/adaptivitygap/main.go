@@ -1,0 +1,50 @@
+// Adaptivity gap, exactly: on instances small enough for exact dynamic
+// programming, compute the optimal sequential policy, the optimal batched
+// policies, and both non-adaptive optima — the quantities the paper's
+// §4.2 Remark calls unknown in general.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asti"
+)
+
+func main() {
+	// The canonical gap instance: a hub whose outcome decides the best
+	// follow-up. A sequential policy observes before committing its second
+	// seed; a batch-2 policy cannot.
+	b := asti.NewGraphBuilder(5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	g, err := b.Build("gap-instance", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const eta = 3
+	gap, err := asti.ComputeAdaptivityGap(g, eta, []int{1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance: hub 0 → {1,2} with p=0.5 each, two isolated nodes; η = %d\n\n", eta)
+	fmt.Printf("optimal sequential policy (b=1):  %.4f expected seeds\n", gap.Adaptive)
+	for _, bsz := range []int{2, 3} {
+		fmt.Printf("optimal batched policy  (b=%d):  %.4f expected seeds\n", bsz, gap.Batched[bsz])
+	}
+	fmt.Printf("exact truncated-greedy policy:    %.4f expected seeds (what TRIM approximates)\n", gap.Greedy)
+	fmt.Printf("non-adaptive, E[I(S)] ≥ η:        %d seeds\n", gap.NonAdaptiveExpect)
+	if gap.RobustFeasible {
+		fmt.Printf("non-adaptive, feasible always:    %d seeds\n", gap.NonAdaptiveRobust)
+	} else {
+		fmt.Println("non-adaptive, feasible always:    impossible on this instance")
+	}
+
+	fmt.Println("\nreading:")
+	fmt.Printf("  batching cost (b=2 vs b=1): +%.4f expected seeds — a strict adaptivity gap\n",
+		gap.Batched[2]-gap.Adaptive)
+	fmt.Println("  the robust non-adaptive optimum pays for the worst world up front;")
+	fmt.Println("  the adaptive policy pays only when the hub's coin flips actually fail.")
+}

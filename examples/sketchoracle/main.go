@@ -1,0 +1,60 @@
+// Sketch oracle: rank every user's expected influence at once with
+// bottom-k reachability sketches, then show the library's negative
+// control — the reason the paper had to invent mRR-sets: no rescaling of
+// an untruncated estimator recovers the truncated objective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"asti"
+)
+
+func main() {
+	g, err := asti.GenerateDataset("synth-nethept", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes / %d edges\n\n", g.N(), g.M())
+
+	// Whole-graph influence ranking. RR-sampling answers "which node is
+	// best" cheaply; sketches answer "how influential is EVERY node" in
+	// one near-linear build.
+	scores, err := asti.SketchInfluence(g, asti.IC, 64, 64, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type ranked struct {
+		node  int32
+		score float64
+	}
+	order := make([]ranked, len(scores))
+	for v, s := range scores {
+		order[v] = ranked{int32(v), s}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	fmt.Println("top 5 users by estimated expected influence:")
+	for _, r := range order[:5] {
+		fmt.Printf("  node %-6d E[I] ≈ %.1f\n", r.node, r.score)
+	}
+
+	// The §3.2 gap, demonstrated: compare min(Ê[I(v)], η) against the
+	// Monte-Carlo truth of E[min(I(v), η)] for the top user. The naive
+	// rescale systematically overshoots whenever the spread distribution
+	// straddles η — which is exactly the seed-minimization regime.
+	top := order[0].node
+	eta := int64(order[0].score) // put η mid-distribution
+	if eta < 2 {
+		eta = 2
+	}
+	truth := asti.ExpectedTruncatedSpread(g, asti.IC, []int32{top}, eta, 4000, 9)
+	naive := order[0].score
+	if naive > float64(eta) {
+		naive = float64(eta)
+	}
+	fmt.Printf("\ntruncated spread of node %d at η=%d:\n", top, eta)
+	fmt.Printf("  naive min(Ê[I],η):   %.1f\n", naive)
+	fmt.Printf("  true E[min(I,η)]:    %.1f   (mRR-sets estimate THIS one unbiasedly)\n", truth)
+}

@@ -1,0 +1,53 @@
+// Topic-aware campaigns: the same social network conducts different
+// products differently (the paper's §2 pointer to topic-aware models).
+// A sports gadget and a cooking gadget each get their own effective
+// influence graph by blending per-topic edge probabilities with the
+// item's topic mixture; ASM then plans each campaign on its own graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asti"
+)
+
+func main() {
+	g, err := asti.GenerateDataset("synth-nethept", 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three latent topics (say: sports, cooking, tech). The uniform
+	// mixture reproduces the calibrated network exactly.
+	model, err := asti.NewTopicModel(g, 3, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.05)
+	fmt.Printf("network: %d nodes — each campaign must influence %d users\n\n", g.N(), eta)
+
+	items := []asti.TopicItem{
+		{Name: "sports gadget (pure topic 0)", Mixture: asti.SingleTopicMixture(3, 0), EtaFrac: 0.05},
+		{Name: "cooking gadget (pure topic 1)", Mixture: asti.SingleTopicMixture(3, 1), EtaFrac: 0.05},
+		{Name: "mass-market item (uniform)", Mixture: asti.UniformMixture(3), EtaFrac: 0.05},
+	}
+	plan, err := asti.PlanTopicCampaigns(model, items, asti.IC, 0.5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range plan.Results {
+		first := res.Seeds
+		if len(first) > 5 {
+			first = first[:5]
+		}
+		fmt.Printf("%-32s %2d seeds, spread %4d, first seeds %v\n",
+			res.Item, len(res.Seeds), res.Spread, first)
+	}
+	fmt.Printf("\nportfolio: %d incentives paid, %d distinct influencers used\n",
+		plan.TotalSeeds, plan.DistinctSeeds)
+	if ov, err := plan.Overlap(0, 1); err == nil {
+		fmt.Printf("sports/cooking seed overlap (Jaccard): %.2f\n", ov)
+	}
+	fmt.Println("\ndifferent mixtures reshape who the influential users are —")
+	fmt.Println("the planner must re-run ASM per item, not reuse one seed list.")
+}

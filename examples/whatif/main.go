@@ -1,0 +1,59 @@
+// What-if walkthrough of the paper's Example 2.3: why adaptive seed
+// minimization must rank seeds by TRUNCATED spread, not vanilla spread.
+//
+// The example builds the paper's Figure 2 graph through the public
+// builder API, estimates both objectives for every node, and shows that
+// the vanilla ranking picks a seed that fails 25% of the time while the
+// truncated ranking picks one that always meets the target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asti"
+)
+
+func main() {
+	// Figure 2: v1 →(0.5) v2 →(1) v4, v1 →(0.5) v3 →(1) v4.
+	b := asti.NewGraphBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build("example-2.3", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const eta = 2
+	const samples = 200000
+
+	fmt.Println("node  E[I(v)] (vanilla)  E[Γ(v)] (truncated, η=2)")
+	for v := int32(0); v < g.N(); v++ {
+		vanilla := asti.ExpectedSpread(g, asti.IC, []int32{v}, samples, uint64(v)+1)
+		trunc := asti.ExpectedTruncatedSpread(g, asti.IC, []int32{v}, eta, samples, uint64(v)+100)
+		fmt.Printf("v%d    %.3f              %.3f\n", v+1, vanilla, trunc)
+	}
+	fmt.Println("\nvanilla ranking picks v1 (2.75) — but with probability 1/4 neither")
+	fmt.Println("coin-flip edge fires and v1 influences only itself, forcing a second")
+	fmt.Println("seed. truncated ranking picks v2 or v3 (2.0): their two influenced")
+	fmt.Println("nodes meet η=2 in EVERY realization.")
+
+	// Measure the actual expected number of seeds each first-pick implies.
+	for _, first := range []int32{0, 1} {
+		var seedsUsed float64
+		const worlds = 2000
+		for w := uint64(0); w < worlds; w++ {
+			world := asti.SampleRealization(g, asti.IC, w)
+			spread, reached := asti.EvaluateSeedSet(world, []int32{first}, eta)
+			_ = spread
+			if reached {
+				seedsUsed++
+			} else {
+				seedsUsed += 2 // one more seed always suffices here
+			}
+		}
+		fmt.Printf("\nstarting with v%d: %.3f seeds in expectation", first+1, seedsUsed/worlds)
+	}
+	fmt.Println("\n\n(the paper's arithmetic: 1.25 for v1, 1.00 for v2 — Example 2.3)")
+}

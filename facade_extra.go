@@ -1,0 +1,128 @@
+package asti
+
+import (
+	"asti/internal/adaptive"
+	"asti/internal/baselines"
+	"asti/internal/centrality"
+	"asti/internal/graph"
+	"asti/internal/imm"
+	"asti/internal/oracle"
+	"asti/internal/rng"
+	"asti/internal/sketch"
+	"asti/internal/topics"
+	"asti/internal/trim"
+)
+
+// NewPageRankPolicy returns the adaptive PageRank heuristic: seed down a
+// one-time PageRank ranking, skipping already-influenced users. No
+// approximation guarantee — the comparison floor for "static global
+// importance".
+func NewPageRankPolicy() Policy { return &baselines.PageRankPolicy{} }
+
+// NewDegreeDiscountPolicy returns the adaptive degree-discount heuristic
+// (Chen et al., KDD 2009), re-ranked on the residual graph each round.
+// p is the uniform propagation probability the discount formula assumes.
+func NewDegreeDiscountPolicy(p float64) Policy { return &baselines.DegreeDiscountPolicy{P: p} }
+
+// NewKCorePolicy returns the adaptive k-core heuristic: seed by
+// descending core number.
+func NewKCorePolicy() Policy { return &baselines.KCorePolicy{} }
+
+// NewASTIParallel returns the TRIM / TRIM-B policy with pool increments
+// of 256+ mRR sets generated across `workers` goroutines. Selections are
+// deterministic for any workers > 1 (per-set seeding); the stream differs
+// from the sequential NewASTI policies.
+func NewASTIParallel(epsilon float64, batch, workers int) (Policy, error) {
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: batch, Truncated: true, Workers: workers})
+}
+
+// NewSketchPolicy returns the adaptive comparator built on bottom-k
+// reachability sketches (Cohen et al., CIKM 2014): residual-aware but
+// optimizing the untruncated spread.
+func NewSketchPolicy() Policy { return &baselines.SketchPolicy{} }
+
+// NewVaswaniPolicy returns the prior-art adaptive baseline of Vaswani and
+// Lakshmanan (§2.4): greedy on the UNtruncated marginal spread with a
+// sequential-sampling estimator that honours the paper's Eq. (7) accuracy
+// band. relErr is the target relative error; smaller values reproduce the
+// "prohibitive computation overhead" the paper criticizes.
+func NewVaswaniPolicy(relErr float64) Policy { return &baselines.Vaswani{RelErr: relErr} }
+
+// PageRank computes PageRank scores for g (damping 0.85).
+func PageRank(g *Graph) ([]float64, error) {
+	scores, _, err := centrality.PageRank(g, centrality.PageRankOptions{})
+	return scores, err
+}
+
+// CoreNumbers computes every node's k-core number (total degree).
+func CoreNumbers(g *Graph) ([]int32, error) { return centrality.KCore(g) }
+
+// SketchInfluence estimates every node's expected spread at once with
+// combined bottom-k reachability sketches (Cohen et al., CIKM 2014):
+// `instances` live-edge worlds, sketch size k. One near-linear build
+// answers all n queries — the whole-graph complement to the RR-set
+// machinery (which targets argmax queries). Note the §3.2 caveat: this
+// estimates the UNtruncated spread; only mRR-sets estimate the truncated
+// objective ASM needs.
+func SketchInfluence(g *Graph, model Model, instances, k int, seed uint64) ([]float64, error) {
+	o, err := sketch.BuildOracle(g, model, sketch.Options{Instances: instances, K: k}, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return o.EstimateAll(), nil
+}
+
+// SaveGraphBinary writes g in the checksummed binary format (fast cache
+// for large synthetic models; load with LoadGraphBinary). The text format
+// of SaveGraph remains the interchange format.
+func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// LoadGraphBinary reads a graph written by SaveGraphBinary.
+func LoadGraphBinary(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
+// IMMResult reports an IMM influence-maximization run.
+type IMMResult = imm.Result
+
+// MaximizeInfluenceIMM solves classical influence maximization with the
+// IMM algorithm (Tang et al., SIGMOD 2015; the paper's reference [40]):
+// a (1−1/e−ε)-approximate k-seed set with probability ≥ 1−1/n. Compare
+// MaximizeInfluence, which uses OPIM-C and certifies its ratio a
+// posteriori.
+func MaximizeInfluenceIMM(g *Graph, model Model, k int, epsilon float64, seed uint64) (*IMMResult, error) {
+	return imm.Select(g, model, k, imm.Options{Epsilon: epsilon}, rng.New(seed))
+}
+
+// EvaluatePolicyParallel is EvaluatePolicy with worlds evaluated across
+// `workers` goroutines; results are bit-identical to any worker count
+// with the same seed (scheduling-independent seeding).
+func EvaluatePolicyParallel(g *Graph, model Model, eta int64, factory PolicyFactory, worlds, workers int, seed uint64) (*Summary, error) {
+	return adaptive.EvaluateParallel(g, model, eta, factory, worlds, workers, seed)
+}
+
+// TopicItem is one advertised product for PlanTopicCampaigns: a topic
+// mixture plus its required reach fraction.
+type TopicItem = topics.Item
+
+// TopicCampaignPlan aggregates the per-item adaptive campaigns.
+type TopicCampaignPlan = topics.CampaignPlan
+
+// PlanTopicCampaigns runs adaptive seed minimization for every item on
+// its blended influence graph (the paper's topic-aware extension applied
+// to a product portfolio): per item, blend the topic model with the
+// item's mixture, then seed adaptively until the item's threshold is
+// met.
+func PlanTopicCampaigns(m *TopicModel, items []TopicItem, model Model, epsilon float64, seed uint64) (*TopicCampaignPlan, error) {
+	return topics.PlanCampaigns(m, items, model, epsilon, seed)
+}
+
+// AdaptivityGap holds the exact optima of one tiny instance across batch
+// sizes and non-adaptive relaxations; see ComputeAdaptivityGap.
+type AdaptivityGap = oracle.AdaptivityGap
+
+// ComputeAdaptivityGap computes, by exact dynamic programming, the
+// optimal adaptive, batched-adaptive and non-adaptive seed-minimization
+// values of a tiny instance (≤ ~14 edges) — the quantities behind the
+// paper's §4.2 Remark on the adaptivity gap.
+func ComputeAdaptivityGap(g *Graph, eta int64, batchSizes []int) (*AdaptivityGap, error) {
+	return oracle.ComputeAdaptivityGap(g, eta, batchSizes)
+}

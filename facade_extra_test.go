@@ -1,0 +1,217 @@
+package asti
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicHeuristicPolicies(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.1)
+	for _, pol := range []Policy{
+		NewPageRankPolicy(),
+		NewDegreeDiscountPolicy(0.1),
+		NewKCorePolicy(),
+	} {
+		world := SampleRealization(g, IC, 5)
+		res, err := RunAdaptive(g, IC, eta, pol, world, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.Spread < eta {
+			t.Fatalf("%s: spread %d < eta %d", pol.Name(), res.Spread, eta)
+		}
+	}
+}
+
+func TestPublicVaswaniPolicy(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.1)
+	pol := NewVaswaniPolicy(0.3)
+	world := SampleRealization(g, IC, 9)
+	res, err := RunAdaptive(g, IC, eta, pol, world, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta {
+		t.Fatalf("spread %d < eta %d", res.Spread, eta)
+	}
+}
+
+func TestPublicCentrality(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := PageRank(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+	core, err := CoreNumbers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(core) != int(g.N()) {
+		t.Fatalf("core numbers length %d != n %d", len(core), g.N())
+	}
+}
+
+func TestPublicIMMAgainstOPIMC(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	immRes, err := MaximizeInfluenceIMM(g, IC, k, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opim, err := MaximizeInfluence(g, IC, k, 0.4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sImm := ExpectedSpread(g, IC, immRes.Seeds, 2000, 5)
+	sOpim := ExpectedSpread(g, IC, opim.Seeds, 2000, 6)
+	lo, hi := sImm, sOpim
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 0.5*hi {
+		t.Fatalf("certified IM solvers diverge: IMM %.0f vs OPIM-C %.0f", sImm, sOpim)
+	}
+}
+
+func TestPublicAdaptivityGap(t *testing.T) {
+	b := NewGraphBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.5)
+	g, err := b.Build("tiny", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := ComputeAdaptivityGap(g, 2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.Batched[2] < gap.Adaptive-1e-12 {
+		t.Fatalf("batched optimum %v below sequential %v", gap.Batched[2], gap.Adaptive)
+	}
+}
+
+func TestPublicASTIParallel(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.1)
+	pol, err := NewASTIParallel(0.5, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := SampleRealization(g, IC, 77)
+	res, err := RunAdaptive(g, IC, eta, pol, world, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta {
+		t.Fatalf("spread %d < eta %d", res.Spread, eta)
+	}
+}
+
+func TestPublicEvaluateParallel(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.05)
+	factory := func() (Policy, error) { return NewASTI(0.5) }
+	a, err := EvaluatePolicyParallel(g, IC, eta, factory, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluatePolicyParallel(g, IC, eta, factory, 4, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("world %d: worker counts disagree (%v vs %v)", i, a.Seeds[i], b.Seeds[i])
+		}
+	}
+}
+
+func TestPublicSketchInfluence(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := SketchInfluence(g, IC, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != int(g.N()) {
+		t.Fatalf("scores length %d != n %d", len(scores), g.N())
+	}
+	for v, s := range scores {
+		// Every node influences at least itself; the bottom-k estimator may
+		// sit slightly under 1 due to sampling noise when saturated.
+		if s < 0.5 {
+			t.Fatalf("node %d estimate %v implausibly low", v, s)
+		}
+	}
+}
+
+func TestPublicTopicCampaigns(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewTopicModel(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []TopicItem{
+		{Name: "broad", Mixture: UniformMixture(2), EtaFrac: 0.05},
+		{Name: "niche", Mixture: SingleTopicMixture(2, 1), EtaFrac: 0.03},
+	}
+	plan, err := PlanTopicCampaigns(m, items, IC, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range plan.Results {
+		if res.Spread < res.Eta {
+			t.Fatalf("item %q missed its threshold", res.Item)
+		}
+	}
+}
+
+func TestPublicBinaryCodec(t *testing.T) {
+	g, err := GenerateDataset("synth-nethept", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/g.asmg"
+	if err := SaveGraphBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraphBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("round-trip changed dimensions: (%d,%d) vs (%d,%d)", got.N(), got.M(), g.N(), g.M())
+	}
+}

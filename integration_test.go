@@ -1,0 +1,106 @@
+package asti_test
+
+// Cross-module integration: run every algorithm family on one small
+// shared instance and assert the orderings the paper's evaluation is
+// built on. Kept small enough for `go test .` but large enough that the
+// orderings are not noise.
+
+import (
+	"testing"
+
+	"asti"
+)
+
+func TestIntegrationOrderings(t *testing.T) {
+	g, err := asti.GenerateDataset("synth-nethept", 0.15) // ~2280 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.1)
+	const worlds = 3
+	const seed = 424242
+
+	summaries := map[string]*asti.Summary{}
+	for name, factory := range map[string]asti.PolicyFactory{
+		"ASTI":   func() (asti.Policy, error) { return asti.NewASTI(0.5) },
+		"ASTI-8": func() (asti.Policy, error) { return asti.NewASTIBatch(0.5, 8) },
+	} {
+		sum, err := asti.EvaluatePolicy(g, asti.IC, eta, factory, worlds, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		summaries[name] = sum
+	}
+
+	// Adaptive feasibility: both meet η on every world.
+	for name, sum := range summaries {
+		for _, sp := range sum.Spreads {
+			if int64(sp) < eta {
+				t.Fatalf("%s spread %v below η", name, sp)
+			}
+		}
+	}
+	// Batched trades seeds for time.
+	if summaries["ASTI-8"].MeanSeconds() >= summaries["ASTI"].MeanSeconds() {
+		t.Errorf("ASTI-8 (%.3fs) not faster than ASTI (%.3fs)",
+			summaries["ASTI-8"].MeanSeconds(), summaries["ASTI"].MeanSeconds())
+	}
+	if summaries["ASTI-8"].MeanSeeds() < summaries["ASTI"].MeanSeeds()-1 {
+		t.Errorf("ASTI-8 used substantially fewer seeds (%v) than ASTI (%v) — implausible",
+			summaries["ASTI-8"].MeanSeeds(), summaries["ASTI"].MeanSeeds())
+	}
+
+	// Non-adaptive comparator on the same worlds.
+	S, err := asti.SelectNonAdaptive(g, asti.IC, eta, 0.5, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, misses := asti.EvaluateFixedSeedSet(g, asti.IC, eta, S, worlds, seed)
+	// ATEUC cannot beat the adaptive seed count by a wide margin while
+	// also missing the threshold (the paper's core comparison).
+	if misses == 0 && float64(len(S)) < summaries["ASTI"].MeanSeeds()*0.5 {
+		t.Errorf("ATEUC dominated ASTI (%d seeds vs %v, no misses) — check objective",
+			len(S), summaries["ASTI"].MeanSeeds())
+	}
+	_ = fixed
+
+	// The dual IM capability: k = mean ASTI seeds should reach a spread
+	// lower bound in η's ballpark (sanity of the shared substrate).
+	k := int(summaries["ASTI"].MeanSeeds())
+	if k < 1 {
+		k = 1
+	}
+	im, err := asti.MaximizeInfluence(g, asti.IC, k, 0.5, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.SpreadLB < float64(eta)/4 {
+		t.Errorf("IM with k=%d certifies only %.0f spread — substrate mismatch", k, im.SpreadLB)
+	}
+}
+
+// TestIntegrationTopicPipeline: generate → topic-blend → ASM → evaluate,
+// all through the façade.
+func TestIntegrationTopicPipeline(t *testing.T) {
+	g, err := asti.GenerateDataset("synth-epinions", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := asti.NewTopicModel(g, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := model.Blend("item", []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(item.N()) * 0.05)
+	sum, err := asti.EvaluatePolicy(item, asti.IC, eta,
+		func() (asti.Policy, error) { return asti.NewASTIBatch(0.5, 4) }, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanSpread() < float64(eta) {
+		t.Fatalf("topic pipeline spread %v below η=%d", sum.MeanSpread(), eta)
+	}
+}

@@ -1,0 +1,200 @@
+// Package adaptive implements the paper's ASTI framework (Algorithm 1):
+// the adaptive select–observe–select loop for seed minimization.
+//
+// A Policy encapsulates one round of seed selection on the current
+// residual graph (TRIM, TRIM-B and the AdaptIM baseline are Policies). Run
+// executes a Policy against one fixed Realization φ: each round the policy
+// proposes a batch, the realized influence of the batch in φ is observed,
+// the activated nodes are removed from the residual graph, and the loop
+// stops as soon as at least η nodes are active — the property that makes
+// adaptive policies always feasible (§1, §6.2).
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// State is the residual view a Policy selects against in round i: the
+// original graph plus the mask of already-activated nodes. It corresponds
+// to the paper's residual graph G_i = subgraph induced by the inactive
+// nodes V_i, with shortfall η_i = η − (n − n_i).
+type State struct {
+	G     *graph.Graph
+	Model diffusion.Model
+	// Eta is the original threshold η.
+	Eta int64
+	// Active marks nodes activated in previous rounds.
+	Active *bitset.Set
+	// Inactive lists the nodes of the residual graph (V_i), kept compact.
+	Inactive []int32
+	// Round is the 1-based current round index.
+	Round int
+	// Rng is the policy's private randomness stream for this run.
+	Rng *rng.Source
+}
+
+// Ni returns n_i, the residual node count.
+func (st *State) Ni() int64 { return int64(len(st.Inactive)) }
+
+// Activated returns n − n_i, the number of active nodes.
+func (st *State) Activated() int64 { return int64(st.G.N()) - st.Ni() }
+
+// EtaI returns η_i = η − (n − n_i), the remaining shortfall.
+func (st *State) EtaI() int64 { return st.Eta - st.Activated() }
+
+// Policy selects the next seed batch for a residual state. Implementations
+// must return seeds drawn from st.Inactive; returning an empty batch is an
+// error surfaced by Run.
+type Policy interface {
+	// Name identifies the policy in reports ("ASTI", "ASTI-8", "AdaptIM").
+	Name() string
+	// SelectBatch picks the next batch of seed nodes.
+	SelectBatch(st *State) ([]int32, error)
+}
+
+// RoundTrace records what one round selected and observed.
+type RoundTrace struct {
+	Seeds []int32
+	// Marginal is the realized marginal spread of the batch: the number of
+	// nodes newly activated this round (Appendix D's per-seed series).
+	Marginal int64
+	// NiBefore and EtaIBefore snapshot the residual state the batch was
+	// selected in.
+	NiBefore   int64
+	EtaIBefore int64
+}
+
+// Result summarizes one adaptive run on one realization.
+type Result struct {
+	Policy string
+	// Seeds is the full seed sequence in selection order.
+	Seeds []int32
+	// Rounds traces each batch.
+	Rounds []RoundTrace
+	// Spread is the total number of activated nodes at termination.
+	Spread int64
+	// ReachedEta reports whether Spread ≥ η (always true for adaptive
+	// policies run to completion; recorded for symmetry with non-adaptive
+	// evaluation).
+	ReachedEta bool
+	// Duration is the policy-side selection time (observation time between
+	// rounds is excluded: in the field it is the marketing campaign, not
+	// computation).
+	Duration time.Duration
+}
+
+// NumSeeds returns the number of selected seeds.
+func (r *Result) NumSeeds() int { return len(r.Seeds) }
+
+// ErrNoProgress is returned when a policy yields an empty batch while the
+// threshold is not yet reached.
+var ErrNoProgress = errors.New("adaptive: policy returned no seeds before reaching eta")
+
+// Run executes policy against realization φ until at least eta nodes are
+// active. seedRng drives the policy's internal sampling; φ supplies the
+// (initially hidden) ground truth.
+func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *diffusion.Realization, seedRng *rng.Source) (*Result, error) {
+	if err := validate(g, model, eta); err != nil {
+		return nil, err
+	}
+	if φ.Graph() != g || φ.Model() != model {
+		return nil, errors.New("adaptive: realization does not match graph/model")
+	}
+	// Policies carrying cross-run state (e.g. CELF's lazy queue) declare a
+	// Reset; a Run is always a fresh campaign.
+	if r, ok := policy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	st := &State{
+		G:        g,
+		Model:    model,
+		Eta:      eta,
+		Active:   bitset.New(int(g.N())),
+		Inactive: allNodes(g.N()),
+		Rng:      seedRng,
+	}
+	res := &Result{Policy: policy.Name()}
+	for st.EtaI() > 0 {
+		st.Round++
+		niBefore, etaIBefore := st.Ni(), st.EtaI()
+		t0 := time.Now()
+		batch, err := policy.SelectBatch(st)
+		res.Duration += time.Since(t0) // observation time between rounds excluded
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: round %d: %w", st.Round, err)
+		}
+		if len(batch) == 0 {
+			return nil, ErrNoProgress
+		}
+		for _, s := range batch {
+			if s < 0 || s >= g.N() || st.Active.Get(s) {
+				return nil, fmt.Errorf("adaptive: round %d: policy selected invalid or active seed %d", st.Round, s)
+			}
+		}
+		// Observe the batch's realized influence in φ restricted to the
+		// residual graph, then commit it.
+		newly := φ.Spread(batch, st.Active)
+		for _, v := range newly {
+			st.Active.Set(v)
+		}
+		st.Inactive = compactInactive(st.Inactive, st.Active)
+		res.Seeds = append(res.Seeds, batch...)
+		res.Rounds = append(res.Rounds, RoundTrace{
+			Seeds:      batch,
+			Marginal:   int64(len(newly)),
+			NiBefore:   niBefore,
+			EtaIBefore: etaIBefore,
+		})
+	}
+	res.Spread = int64(g.N()) - st.Ni()
+	res.ReachedEta = res.Spread >= eta
+	return res, nil
+}
+
+// EvaluateFixedSet measures a non-adaptively chosen seed set S on a single
+// realization: the realized spread and whether it reaches η. This is how
+// the paper scores ATEUC per realization (Fig. 8, Table 3 N/A cells).
+func EvaluateFixedSet(φ *diffusion.Realization, S []int32, eta int64) (spread int64, reached bool) {
+	spread = int64(φ.SpreadSize(S, nil))
+	return spread, spread >= eta
+}
+
+func validate(g *graph.Graph, model diffusion.Model, eta int64) error {
+	if g == nil {
+		return errors.New("adaptive: nil graph")
+	}
+	if !model.Valid() {
+		return errors.New("adaptive: unknown diffusion model")
+	}
+	if eta < 1 || eta > int64(g.N()) {
+		return fmt.Errorf("adaptive: eta %d outside [1, n=%d]", eta, g.N())
+	}
+	return nil
+}
+
+func allNodes(n int32) []int32 {
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(i)
+	}
+	return xs
+}
+
+// compactInactive removes newly activated nodes from the inactive list,
+// preserving order.
+func compactInactive(inactive []int32, active *bitset.Set) []int32 {
+	out := inactive[:0]
+	for _, v := range inactive {
+		if !active.Get(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package adaptive
+
+import (
+	"errors"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// pickFirst is a trivial policy selecting the lowest-id inactive node.
+type pickFirst struct{}
+
+func (pickFirst) Name() string { return "pick-first" }
+func (pickFirst) SelectBatch(st *State) ([]int32, error) {
+	return []int32{st.Inactive[0]}, nil
+}
+
+// badPolicy returns an already-active or out-of-range seed.
+type badPolicy struct{ seed int32 }
+
+func (badPolicy) Name() string { return "bad" }
+func (b badPolicy) SelectBatch(st *State) ([]int32, error) {
+	return []int32{b.seed}, nil
+}
+
+// emptyPolicy returns no seeds.
+type emptyPolicy struct{}
+
+func (emptyPolicy) Name() string                        { return "empty" }
+func (emptyPolicy) SelectBatch(*State) ([]int32, error) { return nil, nil }
+
+// errPolicy propagates an error.
+type errPolicy struct{}
+
+func (errPolicy) Name() string { return "err" }
+func (errPolicy) SelectBatch(*State) ([]int32, error) {
+	return nil, errors.New("boom")
+}
+
+func smallGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "t", N: 120, AvgDeg: 2, UniformMix: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunValidation(t *testing.T) {
+	g := smallGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+	for _, eta := range []int64{0, -5, int64(g.N()) + 1} {
+		if _, err := Run(g, diffusion.IC, eta, pickFirst{}, φ, rng.New(2)); err == nil {
+			t.Errorf("eta=%d accepted", eta)
+		}
+	}
+	if _, err := Run(nil, diffusion.IC, 1, pickFirst{}, φ, rng.New(2)); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(g, diffusion.Model(7), 1, pickFirst{}, φ, rng.New(2)); err == nil {
+		t.Error("bad model accepted")
+	}
+	// Mismatched realization.
+	g2 := smallGraph(t)
+	φ2 := diffusion.SampleRealization(g2, diffusion.IC, rng.New(1))
+	if _, err := Run(g, diffusion.IC, 10, pickFirst{}, φ2, rng.New(2)); err == nil {
+		t.Error("mismatched realization accepted")
+	}
+	φLT := diffusion.SampleRealization(g, diffusion.LT, rng.New(1))
+	if _, err := Run(g, diffusion.IC, 10, pickFirst{}, φLT, rng.New(2)); err == nil {
+		t.Error("model-mismatched realization accepted")
+	}
+}
+
+func TestRunPolicyErrors(t *testing.T) {
+	g := smallGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+	if _, err := Run(g, diffusion.IC, 10, emptyPolicy{}, φ, rng.New(2)); !errors.Is(err, ErrNoProgress) {
+		t.Errorf("empty batch: got %v, want ErrNoProgress", err)
+	}
+	if _, err := Run(g, diffusion.IC, 10, errPolicy{}, φ, rng.New(2)); err == nil {
+		t.Error("policy error swallowed")
+	}
+	if _, err := Run(g, diffusion.IC, 10, badPolicy{seed: -1}, φ, rng.New(2)); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+func TestRunRejectsActiveSeed(t *testing.T) {
+	// A policy that keeps returning node 0 must be rejected on round 2.
+	g := gen.Line(4, 1.0)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+	_, err := Run(g, diffusion.IC, 4, badPolicy{seed: 3}, φ, rng.New(2))
+	// seed 3 activates only node 3 (tail); round 2 re-selects node 3 which
+	// is now active.
+	if err == nil {
+		t.Fatal("re-selected active seed accepted")
+	}
+}
+
+// TestRunAlwaysReachesEta: the structural guarantee of adaptivity — any
+// valid policy run to completion meets the threshold on every realization.
+func TestRunAlwaysReachesEta(t *testing.T) {
+	g := smallGraph(t)
+	for seed := uint64(0); seed < 10; seed++ {
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(seed))
+		res, err := Run(g, diffusion.IC, 60, pickFirst{}, φ, rng.New(seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Spread < 60 || !res.ReachedEta {
+			t.Fatalf("seed %d: spread %d", seed, res.Spread)
+		}
+	}
+}
+
+// TestRunTracesConsistent: round traces decompose the final spread, the
+// shortfall strictly decreases, and seed count matches the trace.
+func TestRunTracesConsistent(t *testing.T) {
+	g := smallGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(5))
+	res, err := Run(g, diffusion.IC, 50, pickFirst{}, φ, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, seeds int64
+	prevEta := int64(1 << 60)
+	for _, tr := range res.Rounds {
+		total += tr.Marginal
+		seeds += int64(len(tr.Seeds))
+		if tr.Marginal < int64(len(tr.Seeds)) {
+			t.Fatalf("marginal %d below batch size %d", tr.Marginal, len(tr.Seeds))
+		}
+		if tr.EtaIBefore >= prevEta {
+			t.Fatalf("shortfall did not decrease: %d then %d", prevEta, tr.EtaIBefore)
+		}
+		prevEta = tr.EtaIBefore
+	}
+	if total != res.Spread {
+		t.Fatalf("trace marginals sum to %d, spread %d", total, res.Spread)
+	}
+	if seeds != int64(len(res.Seeds)) || res.NumSeeds() != len(res.Seeds) {
+		t.Fatal("seed bookkeeping inconsistent")
+	}
+}
+
+// TestStateAccessors checks the η_i / n_i arithmetic.
+func TestStateAccessors(t *testing.T) {
+	g := gen.Line(10, 1.0)
+	st := &State{G: g, Eta: 7, Inactive: []int32{0, 1, 2, 3}}
+	if st.Ni() != 4 {
+		t.Fatalf("Ni = %d", st.Ni())
+	}
+	if st.Activated() != 6 {
+		t.Fatalf("Activated = %d", st.Activated())
+	}
+	if st.EtaI() != 1 { // 7 - (10-4)
+		t.Fatalf("EtaI = %d", st.EtaI())
+	}
+}
+
+// TestEvaluateFixedSet: deterministic line, fixed seed set.
+func TestEvaluateFixedSet(t *testing.T) {
+	g := gen.Line(5, 1.0)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+	spread, reached := EvaluateFixedSet(φ, []int32{0}, 5)
+	if spread != 5 || !reached {
+		t.Fatalf("spread=%d reached=%v", spread, reached)
+	}
+	spread, reached = EvaluateFixedSet(φ, []int32{4}, 2)
+	if spread != 1 || reached {
+		t.Fatalf("tail: spread=%d reached=%v", spread, reached)
+	}
+}
+
+// TestEtaEqualsN: the extreme threshold forces activating every node.
+func TestEtaEqualsN(t *testing.T) {
+	g := gen.Line(6, 0.5)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(9))
+	res, err := Run(g, diffusion.IC, 6, pickFirst{}, φ, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread != 6 {
+		t.Fatalf("spread %d, want all 6", res.Spread)
+	}
+}

@@ -1,0 +1,90 @@
+package adaptive
+
+import (
+	"time"
+
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/rng"
+	"asti/internal/stats"
+)
+
+// Summary aggregates a policy's performance across independently sampled
+// realizations — the evaluation protocol of the paper's §6 (it samples 20
+// worlds and reports averages).
+type Summary struct {
+	Policy string
+	Worlds int
+	// Seeds / Spreads / Seconds are the per-world series, aligned.
+	Seeds   []float64
+	Spreads []float64
+	Seconds []float64
+}
+
+// MeanSeeds returns the average seed count.
+func (s *Summary) MeanSeeds() float64 { return stats.Mean(s.Seeds) }
+
+// MeanSpread returns the average realized spread.
+func (s *Summary) MeanSpread() float64 { return stats.Mean(s.Spreads) }
+
+// MeanSeconds returns the average selection time in seconds.
+func (s *Summary) MeanSeconds() float64 { return stats.Mean(s.Seconds) }
+
+// StddevSeeds returns the sample standard deviation of the seed counts —
+// the "budget variance" adaptivity trades spread variance for.
+func (s *Summary) StddevSeeds() float64 { return stats.Stddev(s.Seeds) }
+
+// PolicyFactory builds a fresh policy per world. Policies carry
+// per-run scratch state, so each world gets its own instance.
+type PolicyFactory func() (Policy, error)
+
+// Evaluate runs the policy on `worlds` independently sampled realizations
+// of (g, model) and aggregates the results. Realizations are derived
+// deterministically from seed, so two Evaluate calls with equal arguments
+// are identical — and two different policies evaluated with the same seed
+// see the same worlds (the paper's paired protocol).
+func Evaluate(g *graph.Graph, model diffusion.Model, eta int64, factory PolicyFactory, worlds int, seed uint64) (*Summary, error) {
+	if err := validate(g, model, eta); err != nil {
+		return nil, err
+	}
+	base := rng.New(seed)
+	sum := &Summary{Worlds: worlds}
+	for w := 0; w < worlds; w++ {
+		φ := diffusion.SampleRealization(g, model, base.Split())
+		policy, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		sum.Policy = policy.Name()
+		res, err := Run(g, model, eta, policy, φ, base.Split())
+		if err != nil {
+			return nil, err
+		}
+		sum.Seeds = append(sum.Seeds, float64(len(res.Seeds)))
+		sum.Spreads = append(sum.Spreads, float64(res.Spread))
+		sum.Seconds = append(sum.Seconds, res.Duration.Seconds())
+	}
+	return sum, nil
+}
+
+// EvaluateFixed scores a non-adaptively chosen seed set on `worlds`
+// sampled realizations; misses counts worlds where the spread fell short
+// of eta. selectionTime is recorded once per world for comparability with
+// adaptive summaries.
+func EvaluateFixed(g *graph.Graph, model diffusion.Model, eta int64, S []int32, selectionTime time.Duration, worlds int, seed uint64) (*Summary, int) {
+	base := rng.New(seed)
+	sum := &Summary{Policy: "fixed", Worlds: worlds}
+	misses := 0
+	for w := 0; w < worlds; w++ {
+		φ := diffusion.SampleRealization(g, model, base.Split())
+		base.Split() // keep the stream aligned with Evaluate's pairing
+		spread, reached := EvaluateFixedSet(φ, S, eta)
+		if !reached {
+			misses++
+		}
+		sum.Seeds = append(sum.Seeds, float64(len(S)))
+		sum.Spreads = append(sum.Spreads, float64(spread))
+		sum.Seconds = append(sum.Seconds, selectionTime.Seconds())
+	}
+	return sum, misses
+}

@@ -1,0 +1,96 @@
+package adaptive
+
+import (
+	"errors"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+)
+
+// countingPolicy is a deterministic test policy (highest id first).
+type countingPolicy struct{ calls int }
+
+func (p *countingPolicy) Name() string { return "counting" }
+func (p *countingPolicy) SelectBatch(st *State) ([]int32, error) {
+	p.calls++
+	return []int32{st.Inactive[len(st.Inactive)-1]}, nil
+}
+
+func TestEvaluateParallelDeterministic(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 200, 4, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	factory := func() (Policy, error) { return &countingPolicy{}, nil }
+	const eta, worlds, seed = 40, 8, 99
+
+	one, err := EvaluateParallel(g, diffusion.IC, eta, factory, worlds, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := EvaluateParallel(g, diffusion.IC, eta, factory, worlds, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < worlds; w++ {
+		if one.Seeds[w] != four.Seeds[w] || one.Spreads[w] != four.Spreads[w] {
+			t.Fatalf("world %d: 1-worker (%v, %v) != 4-worker (%v, %v)",
+				w, one.Seeds[w], one.Spreads[w], four.Seeds[w], four.Spreads[w])
+		}
+	}
+	if one.MeanSpread() < eta {
+		t.Fatalf("mean spread %v below eta", one.MeanSpread())
+	}
+}
+
+func TestEvaluateParallelPairedAcrossPolicies(t *testing.T) {
+	// Two DIFFERENT policies with the same seed must see the same worlds:
+	// realized spread of the same fixed seed node must agree.
+	g, err := gen.ErdosRenyi("er", 150, 4, true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	low := func() (Policy, error) { return fixedFirstPolicy{}, nil }
+	// Same underlying policy type twice — pairing means equal results.
+	a, err := EvaluateParallel(g, diffusion.IC, 20, low, 6, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateParallel(g, diffusion.IC, 20, low, 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range a.Spreads {
+		if a.Spreads[w] != b.Spreads[w] {
+			t.Fatalf("world %d spreads differ across worker counts: %v vs %v", w, a.Spreads[w], b.Spreads[w])
+		}
+	}
+}
+
+type fixedFirstPolicy struct{}
+
+func (fixedFirstPolicy) Name() string { return "fixed-first" }
+func (fixedFirstPolicy) SelectBatch(st *State) ([]int32, error) {
+	return []int32{st.Inactive[0]}, nil
+}
+
+func TestEvaluateParallelValidation(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 50, 3, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (Policy, error) { return fixedFirstPolicy{}, nil }
+	if _, err := EvaluateParallel(g, diffusion.IC, 0, factory, 4, 2, 1); err == nil {
+		t.Error("eta=0 accepted")
+	}
+	if _, err := EvaluateParallel(g, diffusion.IC, 10, factory, 0, 2, 1); err == nil {
+		t.Error("worlds=0 accepted")
+	}
+	boom := func() (Policy, error) { return nil, errors.New("boom") }
+	if _, err := EvaluateParallel(g, diffusion.IC, 10, boom, 2, 2, 1); err == nil {
+		t.Error("factory error swallowed")
+	}
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+)
+
+func TestCELFValidation(t *testing.T) {
+	p := &CELFGreedy{Samples: 0, Truncated: true}
+	st := &adaptive.State{Inactive: []int32{0}}
+	if _, err := p.SelectBatch(st); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	p = &CELFGreedy{Samples: 10, Truncated: true}
+	st = &adaptive.State{Inactive: nil}
+	if _, err := p.SelectBatch(st); err == nil {
+		t.Error("empty inactive accepted")
+	}
+}
+
+// TestCELFReachesEtaAndIsLazy: a full adaptive run completes, and later
+// rounds perform far fewer evaluations than MCGreedy's Θ(n_i) per round.
+func TestCELFReachesEtaAndIsLazy(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "c", N: 250, AvgDeg: 2, UniformMix: 0.4, LWCCFrac: 0.6, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(60)
+	celf := &CELFGreedy{Samples: 200, Truncated: true}
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(9))
+	res, err := adaptive.Run(g, diffusion.IC, eta, celf, φ, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta {
+		t.Fatalf("spread %d", res.Spread)
+	}
+	rounds := int64(len(res.Rounds))
+	if rounds < 2 {
+		t.Skip("single-round run cannot show laziness")
+	}
+	// MCGreedy would cost ≈ rounds × n_i evaluations; CELF must be far
+	// below n per round after the first.
+	mcCost := rounds * int64(g.N())
+	if celf.Evaluations*2 >= mcCost {
+		t.Fatalf("CELF used %d evaluations over %d rounds — not lazy (MCGreedy ≈ %d)",
+			celf.Evaluations, rounds, mcCost)
+	}
+}
+
+// TestCELFMatchesMCGreedyQuality: same seed counts (±1) on the same
+// realizations as the exhaustive MCGreedy.
+func TestCELFMatchesMCGreedyQuality(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "c2", N: 200, AvgDeg: 2, UniformMix: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(40)
+	var celfSeeds, mcSeeds int
+	for w := uint64(0); w < 3; w++ {
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(w))
+		celf := &CELFGreedy{Samples: 400, Truncated: true}
+		resC, err := adaptive.Run(g, diffusion.IC, eta, celf, φ, rng.New(w+50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		celfSeeds += len(resC.Seeds)
+		mc := &MCGreedy{Samples: 400, Truncated: true}
+		resM, err := adaptive.Run(g, diffusion.IC, eta, mc, φ, rng.New(w+90))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcSeeds += len(resM.Seeds)
+	}
+	if celfSeeds > mcSeeds+3 {
+		t.Fatalf("CELF used %d seeds vs MCGreedy %d — lazy bound misfiring", celfSeeds, mcSeeds)
+	}
+}
+
+// TestCELFSkipsActivatedNodes: nodes activated by observations leave the
+// queue permanently.
+func TestCELFSkipsActivatedNodes(t *testing.T) {
+	g := gen.Star(10, 1.0)
+	celf := &CELFGreedy{Samples: 100, Truncated: true}
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+	res, err := adaptive.Run(g, diffusion.IC, 10, celf, φ, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center activates everything in one round: exactly 1 seed.
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("seeds %v, want just the center", res.Seeds)
+	}
+}
+
+// TestCELFReusableAcrossRuns: adaptive.Run resets the lazy queue, so one
+// policy value can serve several campaigns.
+func TestCELFReusableAcrossRuns(t *testing.T) {
+	g := gen.Star(10, 1.0)
+	celf := &CELFGreedy{Samples: 50, Truncated: true}
+	for i := uint64(0); i < 3; i++ {
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(i))
+		res, err := adaptive.Run(g, diffusion.IC, 10, celf, φ, rng.New(i+9))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if len(res.Seeds) != 1 {
+			t.Fatalf("run %d: stale queue leaked (%v)", i, res.Seeds)
+		}
+	}
+}

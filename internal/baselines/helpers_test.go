@@ -1,0 +1,27 @@
+package baselines
+
+import (
+	"asti/internal/adaptive"
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// newState builds a fresh round-1 adaptive state over the whole graph,
+// for exercising policies outside adaptive.Run.
+func newState(g *graph.Graph, model diffusion.Model, eta int64, r *rng.Source) *adaptive.State {
+	inactive := make([]int32, g.N())
+	for i := range inactive {
+		inactive[i] = int32(i)
+	}
+	return &adaptive.State{
+		G:        g,
+		Model:    model,
+		Eta:      eta,
+		Active:   bitset.New(int(g.N())),
+		Inactive: inactive,
+		Round:    1,
+		Rng:      r,
+	}
+}

@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"asti/internal/adaptive"
+	"asti/internal/centrality"
+)
+
+// PageRankPolicy is the adaptive PageRank heuristic: rank every node once
+// on the full graph, then seed down the ranking, skipping nodes that
+// earlier observations already activated. No guarantee of any kind — the
+// harness's floor for "static global importance".
+type PageRankPolicy struct {
+	// Damping passes through to centrality.PageRank (default 0.85).
+	Damping float64
+
+	order []int32
+	next  int
+}
+
+// Name implements adaptive.Policy.
+func (p *PageRankPolicy) Name() string { return "PageRank" }
+
+// Reset recomputes the ranking on the next round (fresh run).
+func (p *PageRankPolicy) Reset() { p.order, p.next = nil, 0 }
+
+// SelectBatch implements adaptive.Policy.
+func (p *PageRankPolicy) SelectBatch(st *adaptive.State) ([]int32, error) {
+	if p.order == nil {
+		scores, _, err := centrality.PageRank(st.G, centrality.PageRankOptions{Damping: p.Damping})
+		if err != nil {
+			return nil, fmt.Errorf("pagerank policy: %w", err)
+		}
+		p.order = centrality.Rank(scores)
+		p.next = 0
+	}
+	for p.next < len(p.order) {
+		v := p.order[p.next]
+		p.next++
+		if !st.Active.Get(v) {
+			return []int32{v}, nil
+		}
+	}
+	return nil, errors.New("pagerank policy: ranking exhausted")
+}
+
+// DegreeDiscountPolicy is the adaptive degree-discount heuristic: each
+// round it re-runs DegreeDiscountIC on the residual graph (active nodes
+// masked out) and seeds the top pick. Uses the uniform probability the
+// heuristic was designed for; on weighted-cascade graphs it degrades to
+// informed degree, which is exactly the comparison the harness wants.
+type DegreeDiscountPolicy struct {
+	// P is the assumed uniform propagation probability (default 0.1).
+	P float64
+}
+
+// Name implements adaptive.Policy.
+func (p *DegreeDiscountPolicy) Name() string { return "DegreeDiscount" }
+
+// SelectBatch implements adaptive.Policy.
+func (p *DegreeDiscountPolicy) SelectBatch(st *adaptive.State) ([]int32, error) {
+	prob := p.P
+	if prob == 0 {
+		prob = 0.1
+	}
+	seeds, err := centrality.DegreeDiscountIC(st.G, 1, prob, func(v int32) bool {
+		return !st.Active.Get(v)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("degreediscount policy: %w", err)
+	}
+	return seeds[:1], nil
+}
+
+// KCorePolicy seeds by descending core number (computed once on the full
+// graph), the "structural coreness" heuristic from the IM literature.
+type KCorePolicy struct {
+	order []int32
+	next  int
+}
+
+// Name implements adaptive.Policy.
+func (p *KCorePolicy) Name() string { return "KCore" }
+
+// Reset recomputes the core ordering on the next round.
+func (p *KCorePolicy) Reset() { p.order, p.next = nil, 0 }
+
+// SelectBatch implements adaptive.Policy.
+func (p *KCorePolicy) SelectBatch(st *adaptive.State) ([]int32, error) {
+	if p.order == nil {
+		core, err := centrality.KCore(st.G)
+		if err != nil {
+			return nil, fmt.Errorf("kcore policy: %w", err)
+		}
+		scores := make([]float64, len(core))
+		for v, c := range core {
+			// Tie-break core numbers by out-degree: within a shell, the
+			// higher-fanout node is the better spreader.
+			scores[v] = float64(c) + float64(st.G.OutDegree(int32(v)))/float64(2*st.G.N())
+		}
+		p.order = centrality.Rank(scores)
+		p.next = 0
+	}
+	for p.next < len(p.order) {
+		v := p.order[p.next]
+		p.next++
+		if !st.Active.Get(v) {
+			return []int32{v}, nil
+		}
+	}
+	return nil, errors.New("kcore policy: ordering exhausted")
+}
+
+var (
+	_ adaptive.Policy = (*PageRankPolicy)(nil)
+	_ adaptive.Policy = (*DegreeDiscountPolicy)(nil)
+	_ adaptive.Policy = (*KCorePolicy)(nil)
+)

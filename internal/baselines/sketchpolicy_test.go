@@ -1,0 +1,63 @@
+package baselines
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+)
+
+func TestSketchPolicyReachesEta(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 250, 5, true, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	const eta = 50
+	p := &SketchPolicy{Instances: 16, K: 16}
+	world := diffusion.SampleRealization(g, diffusion.IC, rng.New(30))
+	res, err := adaptive.Run(g, diffusion.IC, eta, p, world, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta {
+		t.Fatalf("spread %d < eta %d", res.Spread, eta)
+	}
+	if p.Stats.Builds != int64(len(res.Rounds)) {
+		t.Fatalf("builds %d != rounds %d", p.Stats.Builds, len(res.Rounds))
+	}
+	if p.Stats.EdgesVisited == 0 {
+		t.Fatal("no traversal work recorded")
+	}
+}
+
+func TestSketchPolicyPicksHubFirst(t *testing.T) {
+	g := gen.Star(30, 0.9)
+	p := &SketchPolicy{Instances: 64, K: 64}
+	st := newState(g, diffusion.IC, 20, rng.New(3))
+	batch, err := p.SelectBatch(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != 0 {
+		t.Fatalf("first pick %d, want hub 0", batch[0])
+	}
+}
+
+func TestSketchPolicySingleNodeResidual(t *testing.T) {
+	g := gen.Star(3, 0.5)
+	p := &SketchPolicy{}
+	st := newState(g, diffusion.IC, 3, rng.New(4))
+	st.Active.Set(0)
+	st.Active.Set(1)
+	st.Inactive = []int32{2}
+	batch, err := p.SelectBatch(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0] != 2 {
+		t.Fatalf("batch %v, want [2]", batch)
+	}
+}

@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+	"asti/internal/trim"
+)
+
+func TestVaswaniReachesEta(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 150, 4, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	const eta = 30
+	p := &Vaswani{RelErr: 0.3, SampleCap: 512}
+	world := diffusion.SampleRealization(g, diffusion.IC, rng.New(10))
+	res, err := adaptive.Run(g, diffusion.IC, eta, p, world, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < eta {
+		t.Fatalf("spread %d < eta %d (adaptive runs must always reach the threshold)", res.Spread, eta)
+	}
+	if p.Stats.Simulations == 0 || p.Stats.Estimates == 0 {
+		t.Fatalf("no instrumentation recorded: %+v", p.Stats)
+	}
+}
+
+// TestVaswaniOverheadExceedsASTI pins §2.4's efficiency criticism: on the
+// same instance, the sequential-sampling estimator burns far more
+// simulation work than ASTI's whole mRR machinery.
+func TestVaswaniOverheadExceedsASTI(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 200, 4, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	const eta = 40
+	world := diffusion.SampleRealization(g, diffusion.IC, rng.New(20))
+
+	vl := &Vaswani{RelErr: 0.1, SampleCap: 1 << 12}
+	if _, err := adaptive.Run(g, diffusion.IC, eta, vl, world, rng.New(21)); err != nil {
+		t.Fatal(err)
+	}
+
+	asti := trim.MustNew(trim.Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	if _, err := adaptive.Run(g, diffusion.IC, eta, asti, world, rng.New(21)); err != nil {
+		t.Fatal(err)
+	}
+	// mRR sets generated vs forward simulations is the right cost unit on
+	// both sides: each is one graph traversal of comparable size.
+	if vl.Stats.Simulations < 10*asti.Stats.Sets {
+		t.Fatalf("expected Vaswani overhead ≫ ASTI: %d simulations vs %d mRR sets",
+			vl.Stats.Simulations, asti.Stats.Sets)
+	}
+}
+
+// TestVaswaniSmallSpreadsCostMore pins the mechanism: estimating a node
+// with small marginal spread to fixed relative error needs more samples
+// than a node with large spread (coefficient of variation shrinks with
+// the mean for spreads bounded below by 1).
+func TestVaswaniSmallSpreadsCostMore(t *testing.T) {
+	// Star hub: spread ≈ 1 + 7·0.9, tightly concentrated around its mean.
+	// Two-node line with p=0.5: spread 1 or 2 — high relative variance.
+	gStar := gen.Star(8, 0.9)
+	gLine := gen.Line(2, 0.5)
+
+	p := &Vaswani{RelErr: 0.1, SampleCap: 1 << 16}
+	st1 := newState(gStar, diffusion.IC, 8, rng.New(2))
+	if _, err := p.SelectBatch(st1); err != nil {
+		t.Fatal(err)
+	}
+	perEstimateStar := float64(p.Stats.Simulations) / float64(p.Stats.Estimates)
+
+	p2 := &Vaswani{RelErr: 0.1, SampleCap: 1 << 16}
+	st2 := newState(gLine, diffusion.IC, 2, rng.New(3))
+	if _, err := p2.SelectBatch(st2); err != nil {
+		t.Fatal(err)
+	}
+	perEstimateLine := float64(p2.Stats.Simulations) / float64(p2.Stats.Estimates)
+
+	if perEstimateLine <= perEstimateStar {
+		t.Fatalf("expected small-spread node to need more samples: line %.0f ≤ star %.0f",
+			perEstimateLine, perEstimateStar)
+	}
+}
+
+func TestVaswaniValidation(t *testing.T) {
+	g := gen.Star(5, 0.5)
+	st := newState(g, diffusion.IC, 3, rng.New(1))
+	bad := []*Vaswani{
+		{RelErr: -0.1},
+		{RelErr: 1.5},
+		{Confidence: 2},
+		{SampleCap: 1},
+	}
+	for i, p := range bad {
+		if _, err := p.SelectBatch(st); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/trace"
+)
+
+func TestSweepFigureAndCharts(t *testing.T) {
+	s, err := RunSweep(microProfile(), diffusion.IC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Metric{MetricSeeds, MetricSeconds, MetricSpread} {
+		f := s.Figure("synth-nethept", m)
+		if len(f.Series) == 0 {
+			t.Fatalf("metric %v: empty figure", m)
+		}
+		for _, sr := range f.Series {
+			if len(sr.Points) == 0 {
+				t.Fatalf("metric %v: series %q has no points", m, sr.Name)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Charts(&buf, m); err != nil {
+			t.Fatalf("metric %v: %v", m, err)
+		}
+		if !strings.Contains(buf.String(), "ASTI") {
+			t.Fatalf("metric %v: chart legend missing ASTI:\n%s", m, buf.String())
+		}
+	}
+}
+
+func TestSweepWriteCSVRoundTrips(t *testing.T) {
+	s, err := RunSweep(microProfile(), diffusion.IC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSeeds, sawSeconds, sawSpread bool
+	for _, sr := range f.Series {
+		switch {
+		case strings.HasSuffix(sr.Name, "/seeds"):
+			sawSeeds = true
+		case strings.HasSuffix(sr.Name, "/seconds"):
+			sawSeconds = true
+		case strings.HasSuffix(sr.Name, "/spread"):
+			sawSpread = true
+		}
+	}
+	if !sawSeeds || !sawSeconds || !sawSpread {
+		t.Fatalf("CSV export missing metric series (seeds=%v seconds=%v spread=%v)",
+			sawSeeds, sawSeconds, sawSpread)
+	}
+}
+
+func TestHeuristicsExperiment(t *testing.T) {
+	r := NewRunner(microProfile(), nil)
+	var buf bytes.Buffer
+	if err := r.Run("heuristics", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ASTI", "PageRank", "DegreeDiscount", "KCore", "Sketch", "Degree", "Random"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heuristics report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationAdaptivityExperiment(t *testing.T) {
+	r := NewRunner(microProfile(), nil)
+	var buf bytes.Buffer
+	if err := r.Run("ablation-adaptivity", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure1", "figure2", "star6", "line5", "OPT(b=1)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("adaptivity report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationVaswaniExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sequential-sampling baseline is slow")
+	}
+	p := microProfile()
+	p.Realizations = 1
+	r := NewRunner(p, nil)
+	var buf bytes.Buffer
+	if err := r.Run("ablation-vaswani", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VL16", "ASTI", "simulations", "mRR sets"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("vaswani report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportCSVExperiment(t *testing.T) {
+	r := NewRunner(microProfile(), nil)
+	var buf bytes.Buffer
+	if err := r.Run("export-csv-ic", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ReadCSV(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+}
+
+func TestExperimentsListContainsNewIDs(t *testing.T) {
+	ids := map[string]bool{}
+	for _, id := range Experiments() {
+		ids[id] = true
+	}
+	for _, want := range []string{"heuristics", "ablation-adaptivity", "ablation-vaswani", "export-csv-ic", "export-csv-lt"} {
+		if !ids[want] {
+			t.Errorf("Experiments() missing %q", want)
+		}
+	}
+}
+
+func TestSignificanceExperiment(t *testing.T) {
+	p := microProfile()
+	p.Realizations = 3
+	r := NewRunner(p, nil)
+	var buf bytes.Buffer
+	if err := r.Run("significance", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"perm p", "wilcoxon p", "ASTI mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("significance report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationWeightingExperiment(t *testing.T) {
+	r := NewRunner(microProfile(), nil)
+	var buf bytes.Buffer
+	if err := r.Run("ablation-weighting", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"weighted-cascade", "trivalency", "uniform-0.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("weighting report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationIMSolversExperiment(t *testing.T) {
+	r := NewRunner(microProfile(), nil)
+	var buf bytes.Buffer
+	if err := r.Run("ablation-imsolvers", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"OPIM-C spread", "IMM spread", "agreement"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("imsolvers report missing %q:\n%s", want, out)
+		}
+	}
+}

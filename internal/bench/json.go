@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// cellJSON is the machine-readable form of a Cell (diffusion.Model is
+// rendered as its string name; the nested map indexing is flattened so
+// plotting scripts can consume the array directly).
+type cellJSON struct {
+	Dataset        string    `json:"dataset"`
+	Model          string    `json:"model"`
+	Policy         string    `json:"policy"`
+	EtaFrac        float64   `json:"eta_frac"`
+	Eta            int64     `json:"eta"`
+	Seeds          []float64 `json:"seeds"`
+	Spreads        []float64 `json:"spreads"`
+	Seconds        []float64 `json:"seconds"`
+	Misses         int       `json:"misses"`
+	TraceMarginals []int64   `json:"trace_marginals,omitempty"`
+	SetsGenerated  int64     `json:"sets_generated"`
+}
+
+type sweepJSON struct {
+	Profile      string     `json:"profile"`
+	Model        string     `json:"model"`
+	Realizations int        `json:"realizations"`
+	Epsilon      float64    `json:"epsilon"`
+	Cells        []cellJSON `json:"cells"`
+}
+
+// WriteJSON serializes the sweep for downstream plotting: one flat cell
+// array, deterministically ordered by (dataset order, threshold, policy).
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	out := sweepJSON{
+		Profile:      s.Profile.Name,
+		Model:        s.Model.String(),
+		Realizations: s.Profile.Realizations,
+		Epsilon:      s.Profile.Epsilon,
+	}
+	for _, ds := range s.Datasets {
+		fracs := s.fracs(ds)
+		for _, f := range fracs {
+			row := s.Cells[ds][f]
+			var policies []string
+			for p := range row {
+				policies = append(policies, p)
+			}
+			sort.Strings(policies)
+			for _, p := range policies {
+				c := row[p]
+				out.Cells = append(out.Cells, cellJSON{
+					Dataset: c.Dataset, Model: c.Model.String(), Policy: c.Policy,
+					EtaFrac: c.EtaFrac, Eta: c.Eta,
+					Seeds: c.Seeds, Spreads: c.Spreads, Seconds: c.Seconds,
+					Misses: c.Misses, TraceMarginals: c.TraceMarginals,
+					SetsGenerated: c.SetsGenerated,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,158 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6, Appendices C–D) on the synthetic
+// scale-model datasets, plus the ablations DESIGN.md calls out.
+//
+// Each experiment prints the same rows/series the paper reports, as
+// aligned text. Absolute numbers differ from the paper (pure-Go on
+// synthetic scale models vs C++ on SNAP data); EXPERIMENTS.md records the
+// shape comparison.
+package bench
+
+import (
+	"fmt"
+
+	"asti/internal/gen"
+)
+
+// Profile bundles the knobs of one harness run. Quick keeps a single-core
+// run of `-exp all` within tens of minutes; Full mirrors the paper's
+// protocol (20 realizations, full scale models) and is meant to run
+// unattended.
+type Profile struct {
+	// Name labels the profile in output headers.
+	Name string
+	// Realizations is the number of pre-sampled worlds per cell (the
+	// paper uses 20).
+	Realizations int
+	// Epsilon is the approximation slack for all sampling algorithms
+	// (paper: 0.5).
+	Epsilon float64
+	// Scales maps dataset name → generation scale in (0,1].
+	Scales map[string]float64
+	// Thresholds is the η/n sweep for the three smaller datasets
+	// (paper: 0.01…0.2); ThresholdsSmall is the tailored sweep for the
+	// LiveJournal-like dataset (paper: 0.01…0.05).
+	Thresholds      []float64
+	ThresholdsSmall []float64
+	// AdaptIMDatasets lists datasets on which the (10–20× slower) AdaptIM
+	// baseline runs; the paper ran it everywhere but hit a 72h timeout on
+	// LiveJournal.
+	AdaptIMDatasets map[string]bool
+	// AdaptIMMaxFrac caps the η/n thresholds AdaptIM runs at (0 = no
+	// cap). The quick profile uses it to keep single-core wall time
+	// bounded; the mechanism behind AdaptIM's slowdown is additionally
+	// isolated by the cheap ablation-truncated experiment.
+	AdaptIMMaxFrac float64
+	// Batches are the TRIM-B batch sizes evaluated alongside ASTI
+	// (paper: 2, 4, 8).
+	Batches []int
+	// MaxSetsPerRound bounds worst-case memory per TRIM round (0 = none).
+	MaxSetsPerRound int64
+	// Workers > 1 turns on parallel mRR generation inside TRIM rounds
+	// (trim.Config.Workers). 0 or 1 keeps the paper's single-threaded
+	// protocol, whose streams the recorded experiment outputs pin.
+	Workers int
+	// Seed fixes all harness randomness.
+	Seed uint64
+}
+
+// Quick is the default profile: full-shape sweeps sized for a single core.
+func Quick() Profile {
+	return Profile{
+		Name:         "quick",
+		Realizations: 3,
+		Epsilon:      0.5,
+		Scales: map[string]float64{
+			"synth-nethept":     1.0,
+			"synth-epinions":    0.5,
+			"synth-youtube":     0.2,
+			"synth-livejournal": 0.2,
+		},
+		Thresholds:      []float64{0.01, 0.05, 0.1, 0.15, 0.2},
+		ThresholdsSmall: []float64{0.01, 0.02, 0.03, 0.04, 0.05},
+		AdaptIMDatasets: map[string]bool{"synth-nethept": true},
+		AdaptIMMaxFrac:  0.1,
+		Batches:         []int{2, 4, 8},
+		MaxSetsPerRound: 4 << 20,
+		Seed:            0xA571,
+	}
+}
+
+// Full mirrors the paper's protocol at scale 1 with 20 realizations.
+// Expect hours of single-core runtime.
+func Full() Profile {
+	p := Quick()
+	p.Name = "full"
+	p.Realizations = 20
+	p.Scales = map[string]float64{
+		"synth-nethept":     1.0,
+		"synth-epinions":    1.0,
+		"synth-youtube":     1.0,
+		"synth-livejournal": 1.0,
+	}
+	p.AdaptIMDatasets = map[string]bool{
+		"synth-nethept":  true,
+		"synth-epinions": true,
+		"synth-youtube":  true,
+		// synth-livejournal: excluded, mirroring the paper's 72h timeout.
+	}
+	p.AdaptIMMaxFrac = 0 // the paper's complete protocol
+	return p
+}
+
+// Tiny is the profile used by the repository's Go benchmarks: smallest
+// sizes that still exhibit every qualitative shape.
+func Tiny() Profile {
+	p := Quick()
+	p.Name = "tiny"
+	p.Realizations = 2
+	p.Scales = map[string]float64{
+		"synth-nethept":     0.2,
+		"synth-epinions":    0.1,
+		"synth-youtube":     0.05,
+		"synth-livejournal": 0.04,
+	}
+	p.Thresholds = []float64{0.05, 0.1, 0.2}
+	p.ThresholdsSmall = []float64{0.02, 0.05}
+	return p
+}
+
+// thresholdsFor returns the η/n sweep for a dataset (the LiveJournal-like
+// dataset uses the tailored small sweep, paper §6.1).
+func (p Profile) thresholdsFor(dataset string) []float64 {
+	if dataset == "synth-livejournal" {
+		return p.ThresholdsSmall
+	}
+	return p.Thresholds
+}
+
+// scaleFor returns the generation scale for a dataset (default 1).
+func (p Profile) scaleFor(dataset string) float64 {
+	if s, ok := p.Scales[dataset]; ok {
+		return s
+	}
+	return 1
+}
+
+// validate rejects unusable profiles early.
+func (p Profile) validate() error {
+	if p.Realizations < 1 {
+		return fmt.Errorf("bench: profile needs >=1 realization, got %d", p.Realizations)
+	}
+	if p.Epsilon <= 0 || p.Epsilon >= 1 {
+		return fmt.Errorf("bench: epsilon %v outside (0,1)", p.Epsilon)
+	}
+	if len(p.Thresholds) == 0 || len(p.ThresholdsSmall) == 0 {
+		return fmt.Errorf("bench: profile needs non-empty threshold sweeps")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("bench: negative worker count %d", p.Workers)
+	}
+	for _, spec := range gen.Datasets() {
+		s := p.scaleFor(spec.Name)
+		if s <= 0 || s > 1 {
+			return fmt.Errorf("bench: scale %v for %s outside (0,1]", s, spec.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Package bitset implements a fixed-size dense bitset.
+//
+// The adaptive seed-minimization machinery tracks three kinds of node sets
+// on every step — activated nodes (residual-graph mask), visited nodes of a
+// reverse BFS, and coverage marks — and all of them are hot. A dense
+// uint64-word bitset gives O(1) membership with minimal allocation, and the
+// Reset/sparse-clear split lets reverse BFS reuse one scratch set across
+// millions of samples.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over [0, Len()). The zero value is unusable;
+// construct with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set with capacity n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int32) bool {
+	return s.words[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int32) {
+	s.words[uint32(i)>>6] |= 1 << (uint32(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int32) {
+	s.words[uint32(i)>>6] &^= 1 << (uint32(i) & 63)
+}
+
+// TestAndSet sets bit i and reports whether it was previously set.
+func (s *Set) TestAndSet(i int32) bool {
+	w := uint32(i) >> 6
+	mask := uint64(1) << (uint32(i) & 63)
+	old := s.words[w]&mask != 0
+	s.words[w] |= mask
+	return old
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ClearAll clears the listed bits. When the number of set bits is small
+// compared to capacity this is much cheaper than Reset.
+func (s *Set) ClearAll(is []int32) {
+	for _, i := range is {
+		s.Clear(i)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionWith sets every bit that is set in t. The sets must have equal Len.
+func (s *Set) UnionWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: UnionWith on sets of different length")
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith clears every bit that is not set in t. Equal Len required.
+func (s *Set) IntersectWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: IntersectWith on sets of different length")
+	}
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with t's contents. Equal Len required.
+func (s *Set) CopyFrom(t *Set) {
+	if s.n != t.n {
+		panic("bitset: CopyFrom on sets of different length")
+	}
+	copy(s.words, t.words)
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int32)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(int32(wi*64 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (s *Set) NextSet(i int32) int32 {
+	if int(i) >= s.n {
+		return -1
+	}
+	wi := int(uint32(i) >> 6)
+	w := s.words[wi] >> (uint32(i) & 63)
+	if w != 0 {
+		return i + int32(bits.TrailingZeros64(w))
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return int32(wi*64 + bits.TrailingZeros64(s.words[wi]))
+		}
+	}
+	return -1
+}

@@ -1,0 +1,207 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asti/internal/rng"
+)
+
+func TestBasicSetGetClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int32{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	s := New(64)
+	if s.TestAndSet(5) {
+		t.Fatal("TestAndSet on clear bit returned true")
+	}
+	if !s.TestAndSet(5) {
+		t.Fatal("TestAndSet on set bit returned false")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count %d after one set", s.Count())
+	}
+}
+
+func TestCountAndReset(t *testing.T) {
+	s := New(200)
+	for i := int32(0); i < 200; i += 3 {
+		s.Set(i)
+	}
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		want++
+	}
+	if s.Count() != want {
+		t.Fatalf("count %d want %d", s.Count(), want)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Any() {
+		t.Fatal("set not empty after Reset")
+	}
+}
+
+func TestClearAllSparse(t *testing.T) {
+	s := New(500)
+	bits := []int32{3, 77, 255, 499}
+	for _, b := range bits {
+		s.Set(b)
+	}
+	s.ClearAll(bits)
+	if s.Any() {
+		t.Fatal("set not empty after ClearAll")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	u := a.Clone()
+	u.UnionWith(b)
+	if !(u.Get(1) && u.Get(50) && u.Get(99)) || u.Count() != 3 {
+		t.Fatalf("union wrong: count=%d", u.Count())
+	}
+	i := a.Clone()
+	i.IntersectWith(b)
+	if !i.Get(50) || i.Count() != 1 {
+		t.Fatalf("intersection wrong: count=%d", i.Count())
+	}
+}
+
+func TestCloneCopyFromIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	c := a.Clone()
+	c.Set(20)
+	if a.Get(20) {
+		t.Fatal("clone aliases original")
+	}
+	d := New(64)
+	d.CopyFrom(a)
+	if !d.Get(10) || d.Count() != 1 {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(300)
+	want := []int32{2, 63, 64, 190, 299}
+	for _, b := range want {
+		s.Set(b)
+	}
+	var got []int32
+	s.ForEach(func(i int32) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	s.Set(5)
+	s.Set(64)
+	s.Set(199)
+	cases := []struct{ from, want int32 }{
+		{0, 5}, {5, 5}, {6, 64}, {65, 199}, {199, 199},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	s.Clear(199)
+	if got := s.NextSet(65); got != -1 {
+		t.Errorf("NextSet past last = %d, want -1", got)
+	}
+	if got := s.NextSet(200); got != -1 {
+		t.Errorf("NextSet beyond len = %d, want -1", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"union":     func() { New(10).UnionWith(New(20)) },
+		"intersect": func() { New(10).IntersectWith(New(20)) },
+		"copy":      func() { New(10).CopyFrom(New(20)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestQuickAgainstMap is a property test: a Set behaves like a
+// map[int32]bool under a random operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	r := rng.New(42)
+	if err := quick.Check(func(opsRaw []uint16) bool {
+		const n = 257
+		s := New(n)
+		ref := map[int32]bool{}
+		for _, raw := range opsRaw {
+			i := int32(raw) % n
+			switch r.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			default:
+				if s.Get(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return s.Count() == len(ref)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTestAndSet(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.TestAndSet(int32(i & (1<<20 - 1)))
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(1 << 20)
+	for i := int32(0); i < 1<<20; i += 7 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Count()
+	}
+	_ = sink
+}

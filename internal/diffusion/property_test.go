@@ -1,0 +1,81 @@
+package diffusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asti/internal/gen"
+	"asti/internal/rng"
+)
+
+// TestRealizedSpreadSubmodular pins the per-realization submodularity of
+// the spread function: for S ⊆ T and any v, the marginal of v on top of
+// S is at least its marginal on top of T (coverage functions are
+// submodular world by world — the property every greedy guarantee in the
+// paper leans on).
+func TestRealizedSpreadSubmodular(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi("er", 60, 4, true, seed)
+		if err != nil {
+			return false
+		}
+		g.ApplyWeightedCascade()
+		r := rng.New(seed + 1)
+		for _, model := range []Model{IC, LT} {
+			φ := SampleRealization(g, model, r)
+			// Random nested sets S ⊂ T and probe v ∉ T.
+			perm := r.Perm(int(g.N()))
+			sizeS := 1 + r.Intn(5)
+			sizeT := sizeS + 1 + r.Intn(5)
+			S := make([]int32, 0, sizeS)
+			T := make([]int32, 0, sizeT)
+			for i := 0; i < sizeT; i++ {
+				T = append(T, int32(perm[i]))
+				if i < sizeS {
+					S = append(S, int32(perm[i]))
+				}
+			}
+			v := int32(perm[sizeT])
+
+			spread := func(xs []int32) int {
+				return φ.SpreadSize(xs, nil)
+			}
+			margS := spread(append(S[:len(S):len(S)], v)) - spread(S)
+			margT := spread(append(T[:len(T):len(T)], v)) - spread(T)
+			if margS < margT {
+				t.Logf("seed %d model %v: marginal(S)=%d < marginal(T)=%d", seed, model, margS, margT)
+				return false
+			}
+			// Monotonicity for free: T ⊇ S ⇒ spread(T) ≥ spread(S).
+			if spread(T) < spread(S) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRealizationSpreadUnionBound checks subadditivity on realizations:
+// I_φ(S ∪ T) ≤ I_φ(S) + I_φ(T).
+func TestRealizationSpreadUnionBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.ErdosRenyi("er", 50, 3, true, seed)
+		if err != nil {
+			return false
+		}
+		g.ApplyWeightedCascade()
+		r := rng.New(seed + 3)
+		φ := SampleRealization(g, IC, r)
+		perm := r.Perm(int(g.N()))
+		S := []int32{int32(perm[0]), int32(perm[1])}
+		T := []int32{int32(perm[2]), int32(perm[3]), int32(perm[4])}
+		union := append(append([]int32{}, S...), T...)
+		return φ.SpreadSize(union, nil) <= φ.SpreadSize(S, nil)+φ.SpreadSize(T, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

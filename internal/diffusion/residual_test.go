@@ -1,0 +1,80 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/bitset"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// TestSimulatorMatchesRealizationOnResidual: the fresh-randomness
+// Simulator restricted to a residual mask must match, in distribution,
+// realizations of the induced subgraph — the property TRIM's estimator
+// semantics (Corollary 3.4) rest on. Checked by comparing means under
+// both models.
+func TestSimulatorMatchesRealizationOnResidual(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "t", N: 150, AvgDeg: 2.2, UniformMix: 0.3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mask a fixed third of the nodes.
+	active := bitset.New(int(g.N()))
+	var seeds []int32
+	for v := int32(0); v < g.N(); v++ {
+		if v%3 == 0 {
+			active.Set(v)
+		}
+	}
+	for _, c := range []int32{1, 7, 13} {
+		seeds = append(seeds, c)
+	}
+
+	const runs = 6000
+	for _, model := range []Model{IC, LT} {
+		r := rng.New(99)
+		sim := NewSimulator(g, model)
+		var simMean float64
+		for i := 0; i < runs; i++ {
+			simMean += float64(sim.Spread(seeds, active, r))
+		}
+		simMean /= runs
+
+		var realMean float64
+		for i := 0; i < runs; i++ {
+			φ := SampleRealization(g, model, r)
+			realMean += float64(φ.SpreadSize(seeds, active))
+		}
+		realMean /= runs
+		if math.Abs(simMean-realMean) > 0.08*math.Max(1, realMean) {
+			t.Errorf("%v residual: simulator mean %v vs realization mean %v", model, simMean, realMean)
+		}
+	}
+}
+
+// TestLTContactMathExact: on a two-parent node, the sequential contact
+// simulation must activate the child with probability p1+p2 when both
+// parents are active (each node has ONE live in-edge in LT).
+func TestLTContactMathExact(t *testing.T) {
+	// u0 → w ← u1, p = 0.3 each. Seeding both parents activates w iff
+	// w's chosen in-edge is u0 or u1: probability 0.6 exactly.
+	gb := graph.NewBuilder(3)
+	gb.AddEdge(0, 2, 0.3)
+	gb.AddEdge(1, 2, 0.3)
+	g := gb.MustBuild("two-parent", true)
+	φcount := 0
+	const runs = 200000
+	r := rng.New(5)
+	sim := NewSimulator(g, LT)
+	for i := 0; i < runs; i++ {
+		if sim.Spread([]int32{0, 1}, nil, r) == 3 {
+			φcount++
+		}
+	}
+	got := float64(φcount) / runs
+	if math.Abs(got-0.6) > 0.01 {
+		t.Fatalf("LT two-parent activation rate %v, want 0.6", got)
+	}
+}

@@ -1,0 +1,193 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// TestExample23VanillaSpread reproduces the paper's Example 2.3: on the
+// Figure 2 graph, E[I(v1)] = 0.25·(3+3+4+1) = 2.75 and the other nodes'
+// expected spreads are 2, 2, 1.
+func TestExample23VanillaSpread(t *testing.T) {
+	g := gen.Figure2Graph()
+	want := []float64{2.75, 2, 2, 1}
+	for v, w := range want {
+		got, err := ExactSpreadIC(g, []int32{int32(v)})
+		if err != nil {
+			t.Fatalf("ExactSpreadIC(v%d): %v", v+1, err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("E[I(v%d)] = %v, want %v", v+1, got, w)
+		}
+	}
+}
+
+// TestExample23TruncatedSpread checks the truncated spreads with η=2:
+// 1.75, 2, 2, 1 — demonstrating that v2/v3 beat v1 under truncation.
+func TestExample23TruncatedSpread(t *testing.T) {
+	g := gen.Figure2Graph()
+	want := []float64{1.75, 2, 2, 1}
+	for v, w := range want {
+		got, err := ExactTruncatedIC(g, []int32{int32(v)}, 2)
+		if err != nil {
+			t.Fatalf("ExactTruncatedIC(v%d): %v", v+1, err)
+		}
+		if math.Abs(got-w) > 1e-12 {
+			t.Errorf("E[Γ(v%d)] = %v, want %v", v+1, got, w)
+		}
+	}
+}
+
+func fixtureGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"figure1": gen.Figure1Graph(),
+		"figure2": gen.Figure2Graph(),
+		"star":    gen.Star(6, 0.4),
+		"line":    gen.Line(5, 0.7),
+	}
+}
+
+// TestTheorem33Sandwich verifies the paper's Theorem 3.3 exactly:
+// (1−1/e)·E[Γ(S)] ≤ E[Γ̃(S)] ≤ E[Γ(S)] for every singleton seed and every
+// η, where Γ̃ is the binary mRR estimator with randomized-rounding root
+// size. Both sides are computed by exhaustive realization enumeration.
+func TestTheorem33Sandwich(t *testing.T) {
+	lo := 1 - 1/math.E
+	for name, g := range fixtureGraphs() {
+		for eta := int64(1); eta <= int64(g.N()); eta++ {
+			for v := int32(0); v < g.N(); v++ {
+				S := []int32{v}
+				exact, err := ExactTruncatedIC(g, S, eta)
+				if err != nil {
+					t.Fatalf("%s: ExactTruncatedIC: %v", name, err)
+				}
+				est, err := ExactMRRTruncatedIC(g, S, eta)
+				if err != nil {
+					t.Fatalf("%s: ExactMRRTruncatedIC: %v", name, err)
+				}
+				if est > exact+1e-9 {
+					t.Errorf("%s η=%d v=%d: E[Γ̃]=%v exceeds E[Γ]=%v", name, eta, v, est, exact)
+				}
+				if est < lo*exact-1e-9 {
+					t.Errorf("%s η=%d v=%d: E[Γ̃]=%v below (1−1/e)·E[Γ]=%v", name, eta, v, est, lo*exact)
+				}
+			}
+		}
+	}
+}
+
+// TestVanillaRRBias validates the §3.2 argument that single-root RR-sets
+// are biased for truncated spread: the RR-based "estimator" η·Pr[R∩S≠∅] =
+// (η/n)·E[I(S)] underestimates E[Γ(S)] whenever the spread never reaches
+// n, with the discount η/n.
+func TestVanillaRRBias(t *testing.T) {
+	g := gen.Figure2Graph()
+	eta := int64(2)
+	n := float64(g.N())
+	for v := int32(0); v < g.N(); v++ {
+		spread, err := ExactSpreadIC(g, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err := ExactTruncatedIC(g, []int32{v}, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrEst := float64(eta) / n * spread
+		if rrEst >= trunc {
+			t.Errorf("v%d: RR-based estimate %v should be strictly below E[Γ]=%v", v+1, rrEst, trunc)
+		}
+	}
+}
+
+// TestMonteCarloMatchesExactIC cross-checks the Monte-Carlo estimators
+// against the exact oracles within sampling tolerance.
+func TestMonteCarloMatchesExactIC(t *testing.T) {
+	r := rng.New(7)
+	for name, g := range fixtureGraphs() {
+		for v := int32(0); v < g.N(); v += 2 {
+			exact, err := ExactSpreadIC(g, []int32{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := MCSpread(g, diffusion.IC, []int32{v}, nil, 20000, r)
+			if math.Abs(mc-exact) > 0.08*math.Max(1, exact) {
+				t.Errorf("%s v=%d: MC spread %v vs exact %v", name, v, mc, exact)
+			}
+			eta := int64(g.N()) / 2
+			if eta < 1 {
+				eta = 1
+			}
+			exactT, err := ExactTruncatedIC(g, []int32{v}, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcT := MCTruncated(g, diffusion.IC, []int32{v}, nil, eta, 20000, r)
+			if math.Abs(mcT-exactT) > 0.08*math.Max(1, exactT) {
+				t.Errorf("%s v=%d η=%d: MC truncated %v vs exact %v", name, v, eta, mcT, exactT)
+			}
+		}
+	}
+}
+
+// TestMonteCarloMatchesExactLT does the same under the linear threshold
+// model. The figure fixtures' weights satisfy the LT constraint except
+// figure2 (weights into v4 sum to 2), which is excluded.
+func TestMonteCarloMatchesExactLT(t *testing.T) {
+	r := rng.New(11)
+	graphs := fixtureGraphs()
+	delete(graphs, "figure2") // weights into v4 sum to 2
+	delete(graphs, "figure1") // weights into v5 sum to 1.6
+	for name, g := range graphs {
+		if err := diffusion.ValidateLT(g); err != nil {
+			t.Fatalf("%s: fixture violates LT constraint: %v", name, err)
+		}
+		for v := int32(0); v < g.N(); v += 2 {
+			exact, err := ExactSpreadLT(g, []int32{v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc := MCSpread(g, diffusion.LT, []int32{v}, nil, 20000, r)
+			if math.Abs(mc-exact) > 0.08*math.Max(1, exact) {
+				t.Errorf("%s v=%d: MC LT spread %v vs exact %v", name, v, mc, exact)
+			}
+		}
+	}
+}
+
+// TestExactICRejectsLargeGraphs guards the enumeration cut-off.
+func TestExactICRejectsLargeGraphs(t *testing.T) {
+	g := gen.Star(30, 0.5) // 29 edges > maxExactEdges
+	if _, err := ExactSpreadIC(g, []int32{0}); err == nil {
+		t.Fatal("want error for graphs beyond the enumeration limit")
+	}
+}
+
+// TestStarLineArithmetic checks closed-form spreads: a star's expected
+// spread from the center is 1 + (n−1)p; a line's is Σ p^i.
+func TestStarLineArithmetic(t *testing.T) {
+	g := gen.Star(6, 0.4)
+	got, err := ExactSpreadIC(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 5*0.4
+	if math.Abs(got-want) > 1e-6 { // edge probabilities are stored as float32
+		t.Errorf("star: E[I(center)] = %v, want %v", got, want)
+	}
+
+	l := gen.Line(5, 0.7)
+	got, err = ExactSpreadIC(l, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 1 + 0.7 + 0.49 + 0.343 + 0.2401
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("line: E[I(head)] = %v, want %v", got, want)
+	}
+}

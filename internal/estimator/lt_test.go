@@ -1,0 +1,101 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// TestExactTruncatedLT cross-checks the LT truncation oracle against the
+// Monte-Carlo estimator and the η cap.
+func TestExactTruncatedLT(t *testing.T) {
+	g := gen.Line(5, 0.7)
+	for eta := int64(1); eta <= 5; eta++ {
+		exact, err := ExactTruncatedLT(g, []int32{0}, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact > float64(eta)+1e-12 {
+			t.Fatalf("η=%d: E[Γ] = %v exceeds η", eta, exact)
+		}
+		mc := MCTruncated(g, diffusion.LT, []int32{0}, nil, eta, 30000, rng.New(uint64(eta)))
+		if math.Abs(mc-exact) > 0.05*math.Max(1, exact) {
+			t.Errorf("η=%d: MC %v vs exact %v", eta, mc, exact)
+		}
+	}
+}
+
+// TestExactLTMatchesChosenInArithmetic: a two-parent node under LT —
+// E[I({u0,u1})] = 2 + p1 + p2 exactly (the child activates iff its single
+// chosen in-edge points at either parent).
+func TestExactLTMatchesChosenInArithmetic(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 2, 0.3)
+	b.AddEdge(1, 2, 0.25)
+	g := b.MustBuild("two-parent", true)
+	got, err := ExactSpreadLT(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 + 0.3 + 0.25
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("E[I] = %v, want %v", got, want)
+	}
+	// Under IC the child activates with 1-(1-p1)(1-p2) instead.
+	gotIC, err := ExactSpreadIC(g, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIC := 2 + (1 - 0.7*0.75)
+	if math.Abs(gotIC-wantIC) > 1e-6 {
+		t.Fatalf("IC E[I] = %v, want %v", gotIC, wantIC)
+	}
+	if gotIC >= got {
+		t.Fatal("LT must dominate IC on a two-parent contact (p1+p2 > 1-(1-p1)(1-p2))")
+	}
+}
+
+// TestExactLTEnumerationGuard: the Π(indeg+1) explosion is rejected.
+func TestExactLTEnumerationGuard(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "big", N: 200, AvgDeg: 3, UniformMix: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactSpreadLT(g, []int32{0}); err == nil {
+		t.Fatal("oversized LT enumeration accepted")
+	}
+}
+
+// TestTruncationAlgebra (Eq. 2/5 identities): Γ = min{I, η} pointwise,
+// checked across the exact oracles: E[Γ] ≤ min{E[I], η} and E[Γ] = E[I]
+// when η = n.
+func TestTruncationAlgebra(t *testing.T) {
+	g := gen.Figure1Graph()
+	n := int64(g.N())
+	for v := int32(0); v < g.N(); v++ {
+		spread, err := ExactSpreadIC(g, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for eta := int64(1); eta <= n; eta++ {
+			trunc, err := ExactTruncatedIC(g, []int32{v}, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trunc > spread+1e-12 || trunc > float64(eta)+1e-12 {
+				t.Fatalf("v=%d η=%d: E[Γ]=%v violates min bound (E[I]=%v)", v, eta, trunc, spread)
+			}
+		}
+		full, err := ExactTruncatedIC(g, []int32{v}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(full-spread) > 1e-12 {
+			t.Fatalf("v=%d: η=n truncation must be exact spread (%v vs %v)", v, full, spread)
+		}
+	}
+}

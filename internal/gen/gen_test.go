@@ -1,0 +1,245 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asti/internal/graph"
+)
+
+func TestPowerLawValidation(t *testing.T) {
+	bad := []PowerLawConfig{
+		{N: 1, AvgDeg: 1},
+		{N: 100, AvgDeg: 0},
+		{N: 100, AvgDeg: 100},
+		{N: 100, AvgDeg: 2, UniformMix: -0.1},
+		{N: 100, AvgDeg: 2, UniformMix: 1.1},
+		{N: 100, AvgDeg: 2, LWCCFrac: -0.5},
+		{N: 100, AvgDeg: 2, LWCCFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := PowerLaw(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	cfg := PowerLawConfig{Name: "d", N: 500, AvgDeg: 2.5, UniformMix: 0.3, Seed: 9}
+	a, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: m=%d vs %d", a.M(), b.M())
+	}
+	cfg.Seed = 10
+	c, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() == a.M() && sameEdges(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func sameEdges(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for u := int32(0); u < a.N(); u++ {
+		av, bv := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPowerLawInvariants (property): no self loops, no duplicate edges,
+// edge count near target, undirected graphs symmetric, WC probabilities.
+func TestPowerLawInvariants(t *testing.T) {
+	if err := quick.Check(func(rawN uint16, rawDeg uint8, directed bool) bool {
+		n := int32(rawN%2000) + 50
+		avg := 1 + float64(rawDeg%4) + 0.5
+		g, err := PowerLaw(PowerLawConfig{
+			Name: "q", N: n, AvgDeg: avg, Directed: directed, UniformMix: 0.4, Seed: uint64(rawN),
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int32]bool{}
+		for u := int32(0); u < g.N(); u++ {
+			probs := g.OutProbs(u)
+			for i, v := range g.OutNeighbors(u) {
+				if u == v {
+					return false // self loop
+				}
+				if seen[[2]int32{u, v}] {
+					return false // duplicate
+				}
+				seen[[2]int32{u, v}] = true
+				want := 1.0 / float64(g.InDegree(v))
+				if math.Abs(float64(probs[i])-want) > 1e-6 {
+					return false // WC violated
+				}
+				if !directed {
+					if _, ok := g.FindOutEdge(v, u); !ok {
+						return false // asymmetric undirected graph
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawAvgDegree(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Name: "a", N: 20000, AvgDeg: 3, Directed: true, UniformMix: 0.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.AvgDegree()
+	if got < 2.6 || got > 3.1 {
+		t.Fatalf("avg degree %v, want ≈3", got)
+	}
+}
+
+// TestPowerLawHeavyTail: the max degree must far exceed the average (a
+// crude but robust power-law witness; an ER graph of the same density
+// fails it).
+func TestPowerLawHeavyTail(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Name: "h", N: 20000, AvgDeg: 3, UniformMix: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := g.MaxDegree(graph.TotalDegrees)
+	if float64(maxDeg) < 15*g.AvgDegree() {
+		t.Fatalf("max degree %d vs avg %.1f: tail too light", maxDeg, g.AvgDegree())
+	}
+	er, err := ErdosRenyi("er", 20000, 3, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.MaxDegree(graph.TotalDegrees) >= maxDeg {
+		t.Fatalf("ER max degree %d not lighter than PA %d", er.MaxDegree(graph.TotalDegrees), maxDeg)
+	}
+}
+
+func TestPowerLawLWCCFraction(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Name: "f", N: 10000, AvgDeg: 2.2, UniformMix: 0.5, LWCCFrac: 0.45, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(g.LargestWCC()) / float64(g.N())
+	if math.Abs(frac-0.45) > 0.02 {
+		t.Fatalf("LWCC fraction %v, want ≈0.45", frac)
+	}
+	// No isolated nodes (paper: the datasets contain none).
+	for v := int32(0); v < g.N(); v++ {
+		if g.InDegree(v)+g.OutDegree(v) == 0 {
+			t.Fatalf("node %d isolated", v)
+		}
+	}
+	// Connected variant covers everything.
+	full, err := PowerLaw(PowerLawConfig{Name: "c", N: 5000, AvgDeg: 2.2, UniformMix: 0.5, LWCCFrac: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LargestWCC() != int64(full.N()) {
+		t.Fatalf("LWCCFrac=1 left %d of %d nodes outside", int64(full.N())-full.LargestWCC(), full.N())
+	}
+}
+
+func TestErdosRenyiValidation(t *testing.T) {
+	if _, err := ErdosRenyi("x", 1, 1, true, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ErdosRenyi("x", 100, 0, true, 1); err == nil {
+		t.Error("avgdeg=0 accepted")
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	specs := Datasets()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(specs))
+	}
+	wantOrder := []string{"synth-nethept", "synth-epinions", "synth-youtube", "synth-livejournal"}
+	for i, spec := range specs {
+		if spec.Name != wantOrder[i] {
+			t.Fatalf("dataset %d is %s, want %s (paper order)", i, spec.Name, wantOrder[i])
+		}
+		if spec.Paper == "" {
+			t.Fatalf("%s missing paper mapping", spec.Name)
+		}
+	}
+	if _, err := Dataset("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := specs[0].Generate(0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := specs[0].Generate(1.5); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}
+
+func TestDatasetScaling(t *testing.T) {
+	spec := Datasets()[0]
+	small, err := spec.Generate(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := small.N(), int32(1520); got != want {
+		t.Fatalf("scaled n = %d, want %d", got, want)
+	}
+	// Tiny scales floor at 16 nodes.
+	tiny, err := spec.Generate(0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.N() != 16 {
+		t.Fatalf("floor n = %d, want 16", tiny.N())
+	}
+}
+
+func TestStarLineShapes(t *testing.T) {
+	s := Star(5, 0.5)
+	if s.OutDegree(0) != 4 || s.InDegree(0) != 0 {
+		t.Fatal("star center degrees wrong")
+	}
+	l := Line(4, 0.5)
+	if l.M() != 3 || l.OutDegree(3) != 0 {
+		t.Fatal("line shape wrong")
+	}
+}
+
+func TestFigureFixtures(t *testing.T) {
+	f1 := Figure1Graph()
+	if f1.N() != 6 || f1.M() != 7 {
+		t.Fatalf("figure1 shape n=%d m=%d", f1.N(), f1.M())
+	}
+	f2 := Figure2Graph()
+	if f2.N() != 4 || f2.M() != 4 {
+		t.Fatalf("figure2 shape n=%d m=%d", f2.N(), f2.M())
+	}
+	if p := f2.EdgeProb(0, 1); p != 0.5 {
+		t.Fatalf("figure2 p(v1,v2) = %v", p)
+	}
+	if p := f2.EdgeProb(1, 3); p != 1 {
+		t.Fatalf("figure2 p(v2,v4) = %v", p)
+	}
+}

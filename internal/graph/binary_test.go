@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asti/internal/rng"
+)
+
+// randomGraph builds a random directed graph for round-trip tests.
+func randomGraph(t *testing.T, seed uint64, n int32, edges int) *Graph {
+	t.Helper()
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		u := r.Int31n(n)
+		v := r.Int31n(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0.05+0.9*r.Float64())
+	}
+	g, err := b.Build("random", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.Name() != b.Name() || a.Directed() != b.Directed() {
+		return false
+	}
+	for u := int32(0); u < a.N(); u++ {
+		au, bu := a.OutNeighbors(u), b.OutNeighbors(u)
+		ap, bp := a.OutProbs(u), b.OutProbs(u)
+		if len(au) != len(bu) {
+			return false
+		}
+		for i := range au {
+			if au[i] != bu[i] || ap[i] != bp[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(t, 5, 200, 900)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round-trip changed the graph")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(t, seed, 40, 150)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := randomGraph(t, 9, 100, 400)
+	path := filepath.Join(t.TempDir(), "g.asmg")
+	if err := SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("file round-trip changed the graph")
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	g := randomGraph(t, 11, 60, 250)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte in the edge payload (past the header, before the crc).
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// Truncation.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Wrong magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Wrong version.
+	badv := append([]byte(nil), data...)
+	badv[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(badv)); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestBinaryRejectsNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestBinaryErrorsNameFields(t *testing.T) {
+	g := randomGraph(t, 13, 10, 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// The emitted errors should identify the failing field for corrupted
+	// streams (spot-check on an empty reader).
+	_, err := ReadBinary(strings.NewReader(""))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("empty stream error %v, want magic mention", err)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	g := randomGraph(t, 17, 500, 3000)
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than text (%d bytes)", bin.Len(), txt.Len())
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a plain text edge list:
+//
+//	# asm-graph v1
+//	# name <label>
+//	# directed <true|false>
+//	<n> <m-lines>
+//	<u> <v> <p>
+//	...
+//
+// For undirected graphs each undirected edge appears once and is expanded
+// to both directions on load. Probabilities are optional per line; absent
+// probabilities default to 0.1 and are normally overwritten by
+// ApplyWeightedCascade after loading.
+
+const codecMagic = "# asm-graph v1"
+
+// WriteEdgeList serializes g to w in the text format above. Undirected
+// graphs are written with both stored directions (directed form) to keep
+// the writer lossless; the directed flag preserves the source convention.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintln(bw, codecMagic)
+	fmt.Fprintf(bw, "# name %s\n", g.Name())
+	fmt.Fprintf(bw, "# directed %t\n", true) // stored form is always directed
+	fmt.Fprintf(bw, "# source-directed %t\n", g.Directed())
+	fmt.Fprintf(bw, "%d %d\n", g.N(), g.M())
+	for u := int32(0); u < g.N(); u++ {
+		adj := g.OutNeighbors(u)
+		probs := g.OutProbs(u)
+		for i, v := range adj {
+			fmt.Fprintf(bw, "%d %d %g\n", u, v, probs[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text format produced by WriteEdgeList (or
+// hand-written in the same shape).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	name := "unnamed"
+	directed := true
+	sourceDirected := true
+	var n int64 = -1
+	var mExpected int64 = -1
+	var b *Builder
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(fields) >= 2 {
+				switch fields[0] {
+				case "name":
+					name = fields[1]
+				case "directed":
+					directed = fields[1] == "true"
+				case "source-directed":
+					sourceDirected = fields[1] == "true"
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if n < 0 {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want header \"n m\", got %q", lineNo, line)
+			}
+			var err error
+			n, err = strconv.ParseInt(fields[0], 10, 32)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[0])
+			}
+			mExpected, err = strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || mExpected < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(int32(n))
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want \"u v [p]\", got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[1])
+		}
+		p := 0.1
+		if len(fields) == 3 {
+			p, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad probability %q", lineNo, fields[2])
+			}
+		}
+		if directed {
+			b.AddEdge(int32(u), int32(v), p)
+		} else {
+			b.AddUndirected(int32(u), int32(v), p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: missing \"n m\" header line")
+	}
+	g, err := b.Build(name, sourceDirected && directed)
+	if err != nil {
+		return nil, err
+	}
+	if mExpected >= 0 && directed && g.M() != mExpected {
+		return nil, fmt.Errorf("graph: header promised %d edges, got %d", mExpected, g.M())
+	}
+	return g, nil
+}
+
+// LoadFile reads a graph from path using ReadEdgeList.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes g to path using WriteEdgeList.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

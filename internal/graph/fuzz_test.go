@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the text codec never panics and that anything
+// it accepts round-trips losslessly. Run with `go test -fuzz
+// FuzzReadEdgeList ./internal/graph` for continuous fuzzing; the seed
+// corpus below runs as a normal test.
+func FuzzReadEdgeList(f *testing.F) {
+	g := randomGraphF(f, 3, 30, 80)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("# asm-graph v1\n# name x\n# directed true\n2 1\n0 1 0.5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("# asm-graph v1\n3 2\n0 1\n"))
+	f.Add([]byte("# asm-graph v1\n# name x\n-1 0\n"))
+	f.Add([]byte("# asm-graph v1\n2 1\n0 0 0.5\n")) // self-loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteEdgeList(&out, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v", err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatal("round-trip changed an accepted graph")
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary codec never panics, never accepts a
+// corrupted checksum, and round-trips what it accepts.
+func FuzzReadBinary(f *testing.F) {
+	g := randomGraphF(f, 7, 25, 70)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ASMG"))
+	f.Add([]byte(""))
+	truncated := append([]byte(nil), buf.Bytes()[:buf.Len()/2]...)
+	f.Add(truncated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v", err)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatal("round-trip changed an accepted graph")
+		}
+	})
+}
+
+// randomGraphF is randomGraph for fuzz setup (testing.F, not *testing.T).
+func randomGraphF(f *testing.F, seed uint64, n int32, edges int) *Graph {
+	f.Helper()
+	b := NewBuilder(n)
+	state := seed
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state
+	}
+	for i := 0; i < edges; i++ {
+		u := int32(next() % uint64(n))
+		v := int32(next() % uint64(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, 0.05+float64(next()%90)/100)
+	}
+	g, err := b.Build("fuzz-seed", true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SNAP-format support. The paper's evaluation datasets (Epinions, Youtube,
+// LiveJournal) are distributed by the SNAP project as whitespace-separated
+// edge lists with '#' comment headers and arbitrary (sparse,
+// non-contiguous) node ids:
+//
+//	# Directed graph (each unordered pair of nodes is saved once)
+//	# FromNodeId    ToNodeId
+//	0       11342
+//	...
+//
+// ReadSNAP densifies the ids, drops self-loops and duplicate edges (both
+// occur in the raw files), and applies the weighted-cascade probabilities
+// the paper uses, so a downloaded SNAP file is directly usable:
+//
+//	g, err := graph.LoadSNAPFile("soc-Epinions1.txt", true)
+//	g.Name() // file-derived
+//
+// This reproduction ships synthetic scale models instead of the real
+// datasets (licensing); the loader exists so users who download the
+// originals can reproduce on them unchanged.
+
+// SNAPStats reports what ReadSNAP cleaned up.
+type SNAPStats struct {
+	// RawLines is the number of non-comment lines parsed.
+	RawLines int64
+	// SelfLoops counts dropped u→u lines.
+	SelfLoops int64
+	// Dups counts dropped duplicate edges.
+	Dups int64
+}
+
+// ReadSNAP parses a SNAP edge list. directed controls whether each line is
+// one directed edge or an undirected edge stored in both directions
+// (matching the dataset's documentation). Probabilities are initialized
+// with the weighted cascade convention.
+func ReadSNAP(r io.Reader, name string, directed bool) (*Graph, *SNAPStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	stats := &SNAPStats{}
+	ids := map[int64]int32{}
+	type rawEdge struct{ u, v int32 }
+	var edges []rawEdge
+	dense := func(raw int64) int32 {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := int32(len(ids))
+		ids[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: snap line %d: want \"from to\", got %q", lineNo, line)
+		}
+		uRaw, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: snap line %d: bad node id %q", lineNo, fields[0])
+		}
+		vRaw, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: snap line %d: bad node id %q", lineNo, fields[1])
+		}
+		stats.RawLines++
+		if uRaw == vRaw {
+			stats.SelfLoops++
+			continue
+		}
+		edges = append(edges, rawEdge{dense(uRaw), dense(vRaw)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: snap read: %w", err)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("graph: snap input contains no edges")
+	}
+
+	b := NewBuilder(int32(len(ids)))
+	for _, e := range edges {
+		if directed {
+			b.AddEdge(e.u, e.v, 0.1)
+		} else {
+			b.AddUndirected(e.u, e.v, 0.1)
+		}
+	}
+	g, err := b.Build(name, directed)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Dups = int64(b.Dups())
+	g.ApplyWeightedCascade()
+	return g, stats, nil
+}
+
+// LoadSNAPFile reads a SNAP edge-list file; the graph is named after the
+// file's base name.
+func LoadSNAPFile(path string, directed bool) (*Graph, *SNAPStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".txt")
+	return ReadSNAP(f, name, directed)
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const snapSample = `# Directed graph: example
+# FromNodeId	ToNodeId
+10	20
+20	30
+10	20
+7	7
+30	10
+`
+
+func TestReadSNAPBasics(t *testing.T) {
+	g, stats, err := ReadSNAP(strings.NewReader(snapSample), "sample", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("n = %d, want 3 densified nodes", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("m = %d, want 3 (dup and self-loop dropped)", g.M())
+	}
+	if stats.RawLines != 5 || stats.SelfLoops != 1 || stats.Dups != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Weighted cascade applied: node densities are assignment-ordered
+	// (10→0, 20→1, 30→2); 20 has indeg 1 → p(10→20)=1.
+	if p := g.EdgeProb(0, 1); p != 1 {
+		t.Fatalf("p(10→20) = %v, want 1", p)
+	}
+}
+
+func TestReadSNAPUndirected(t *testing.T) {
+	g, _, err := ReadSNAP(strings.NewReader("1 2\n2 3\n"), "u", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || g.Directed() {
+		t.Fatalf("m=%d directed=%v", g.M(), g.Directed())
+	}
+}
+
+func TestReadSNAPErrors(t *testing.T) {
+	cases := []string{
+		"1\n",        // short line
+		"a 2\n",      // bad from id
+		"1 b\n",      // bad to id
+		"# only\n",   // no edges
+		"",           // empty
+		"5 5\n7 7\n", // only self loops → no edges
+	}
+	for _, in := range cases {
+		if _, _, err := ReadSNAP(strings.NewReader(in), "x", true); err == nil {
+			t.Errorf("ReadSNAP accepted %q", in)
+		}
+	}
+}
+
+func TestLoadSNAPFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "soc-Test1.txt")
+	if err := os.WriteFile(path, []byte(snapSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := LoadSNAPFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "soc-Test1" {
+		t.Fatalf("name %q", g.Name())
+	}
+	if _, _, err := LoadSNAPFile(filepath.Join(dir, "missing.txt"), true); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import "sort"
+
+// DegreeKind selects which degree a statistic is computed over.
+type DegreeKind int
+
+const (
+	// OutDegrees counts outgoing edges per node.
+	OutDegrees DegreeKind = iota
+	// InDegrees counts incoming edges per node.
+	InDegrees
+	// TotalDegrees counts incident edges per node (in + out).
+	TotalDegrees
+)
+
+// AvgDegree returns the average degree reported the way the paper's
+// Table 2 does: directed edges per node for directed graphs, and
+// undirected-edge incidences (m_stored/n, since each undirected edge is
+// stored twice and touches two nodes) for undirected graphs — in both
+// cases simply M()/N().
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// DegreeBucket is one row of a degree histogram.
+type DegreeBucket struct {
+	Degree int32
+	Count  int64
+}
+
+// DegreeHistogram returns (degree, node count) pairs sorted by degree,
+// covering every degree that occurs, including zero. This is the series
+// behind the paper's Figure 3 (fraction of nodes = Count / N).
+func (g *Graph) DegreeHistogram(kind DegreeKind) []DegreeBucket {
+	counts := make(map[int32]int64)
+	for v := int32(0); v < g.n; v++ {
+		var d int32
+		switch kind {
+		case OutDegrees:
+			d = g.OutDegree(v)
+		case InDegrees:
+			d = g.InDegree(v)
+		default:
+			d = g.OutDegree(v) + g.InDegree(v)
+		}
+		counts[d]++
+	}
+	buckets := make([]DegreeBucket, 0, len(counts))
+	for d, c := range counts {
+		buckets = append(buckets, DegreeBucket{Degree: d, Count: c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Degree < buckets[j].Degree })
+	return buckets
+}
+
+// MaxDegree returns the largest degree of the requested kind.
+func (g *Graph) MaxDegree(kind DegreeKind) int32 {
+	var max int32
+	for _, b := range g.DegreeHistogram(kind) {
+		if b.Degree > max {
+			max = b.Degree
+		}
+	}
+	return max
+}
+
+// LargestWCC returns the node count of the largest weakly connected
+// component (edge direction ignored), the statistic in the paper's Table 2.
+func (g *Graph) LargestWCC() int64 {
+	parent := make([]int32, g.n)
+	size := make([]int64, g.n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			union(u, v)
+		}
+	}
+	var best int64
+	for i := int32(0); i < g.n; i++ {
+		if find(i) == i && size[i] > best {
+			best = size[i]
+		}
+	}
+	return best
+}
+
+// NumWCC returns the number of weakly connected components.
+func (g *Graph) NumWCC() int {
+	parent := make([]int32, g.n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			ru, rv := find(u), find(v)
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	roots := 0
+	for i := int32(0); i < g.n; i++ {
+		if find(i) == i {
+			roots++
+		}
+	}
+	return roots
+}

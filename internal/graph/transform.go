@@ -1,0 +1,65 @@
+package graph
+
+import "fmt"
+
+// Transpose returns the graph with every edge reversed (probabilities
+// preserved). Reverse-reachability on g equals forward reachability on
+// the transpose; the utility exists for tests that cross-check the
+// reverse BFS machinery and for users building custom samplers.
+func (g *Graph) Transpose() *Graph {
+	b := NewBuilder(g.n)
+	for u := int32(0); u < g.n; u++ {
+		adj := g.OutNeighbors(u)
+		probs := g.OutProbs(u)
+		for i, v := range adj {
+			b.AddEdge(v, u, float64(probs[i]))
+		}
+	}
+	t := b.MustBuild(g.name+"-transpose", g.directed)
+	return t
+}
+
+// Induce returns the subgraph induced by the `keep` node set (indices
+// into g), with nodes renumbered densely in ascending original order,
+// plus the mapping newID → oldID. Edge probabilities are preserved — the
+// residual-graph semantics of the paper (G_i is the induced subgraph of
+// the inactive nodes, with unchanged edge probabilities).
+//
+// The adaptive machinery itself uses masks instead of materialized
+// subgraphs (O(1) per query); Induce exists for analysis, export, and
+// tests that validate the mask semantics against the real induced graph.
+func (g *Graph) Induce(keep []int32) (*Graph, []int32, error) {
+	if len(keep) == 0 {
+		return nil, nil, fmt.Errorf("graph: cannot induce empty subgraph")
+	}
+	oldToNew := make(map[int32]int32, len(keep))
+	newToOld := make([]int32, 0, len(keep))
+	prev := int32(-1)
+	for _, v := range keep {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: induce node %d out of range", v)
+		}
+		if v <= prev {
+			return nil, nil, fmt.Errorf("graph: induce nodes must be strictly ascending (got %d after %d)", v, prev)
+		}
+		prev = v
+		oldToNew[v] = int32(len(newToOld))
+		newToOld = append(newToOld, v)
+	}
+	b := NewBuilder(int32(len(keep)))
+	for _, u := range keep {
+		nu := oldToNew[u]
+		adj := g.OutNeighbors(u)
+		probs := g.OutProbs(u)
+		for i, v := range adj {
+			if nv, ok := oldToNew[v]; ok {
+				b.AddEdge(nu, nv, float64(probs[i]))
+			}
+		}
+	}
+	sub, err := b.Build(g.name+"-induced", g.directed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newToOld, nil
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asti/internal/rng"
+)
+
+func TestTransposeInvolution(t *testing.T) {
+	g := triangle(t)
+	tt := g.Transpose().Transpose()
+	if tt.M() != g.M() || tt.N() != g.N() {
+		t.Fatal("double transpose changed shape")
+	}
+	for u := int32(0); u < g.N(); u++ {
+		adj := g.OutNeighbors(u)
+		probs := g.OutProbs(u)
+		for i, v := range adj {
+			if tt.EdgeProb(u, v) != float64(probs[i]) {
+				t.Fatalf("edge ⟨%d,%d⟩ changed under double transpose", u, v)
+			}
+		}
+	}
+}
+
+func TestTransposeSwapsDegrees(t *testing.T) {
+	g := triangle(t)
+	tr := g.Transpose()
+	for v := int32(0); v < g.N(); v++ {
+		if g.OutDegree(v) != tr.InDegree(v) || g.InDegree(v) != tr.OutDegree(v) {
+			t.Fatalf("degrees of %d not swapped", v)
+		}
+	}
+}
+
+// TestTransposeProperty (property): edge (u,v,p) exists in g iff (v,u,p)
+// exists in the transpose, on random graphs.
+func TestTransposeProperty(t *testing.T) {
+	r := rng.New(31)
+	if err := quick.Check(func(_ uint8) bool {
+		n := int32(r.Intn(30) + 2)
+		b := NewBuilder(n)
+		for i := 0; i < int(n)*2; i++ {
+			u, v := r.Int31n(n), r.Int31n(n)
+			if u != v {
+				b.AddEdge(u, v, 0.5)
+			}
+		}
+		g, err := b.Build("p", true)
+		if err != nil {
+			return false
+		}
+		tr := g.Transpose()
+		if tr.M() != g.M() {
+			return false
+		}
+		for u := int32(0); u < n; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				if tr.EdgeProb(v, u) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInduceBasics(t *testing.T) {
+	// Path 0→1→2→3; keep {0, 2, 3}: edges 2→3 survive, 0→1→2 vanish.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 3, 0.25)
+	g, err := b.Build("path", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := g.Induce([]int32{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 1 {
+		t.Fatalf("induced shape n=%d m=%d", sub.N(), sub.M())
+	}
+	if mapping[0] != 0 || mapping[1] != 2 || mapping[2] != 3 {
+		t.Fatalf("mapping %v", mapping)
+	}
+	if p := sub.EdgeProb(1, 2); p != 0.25 {
+		t.Fatalf("induced edge prob %v", p)
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	g := triangle(t)
+	if _, _, err := g.Induce(nil); err == nil {
+		t.Error("empty keep accepted")
+	}
+	if _, _, err := g.Induce([]int32{2, 1}); err == nil {
+		t.Error("descending keep accepted")
+	}
+	if _, _, err := g.Induce([]int32{0, 0}); err == nil {
+		t.Error("duplicate keep accepted")
+	}
+	if _, _, err := g.Induce([]int32{0, 99}); err == nil {
+		t.Error("out-of-range keep accepted")
+	}
+}
+
+// TestInduceMatchesMaskSemantics: the induced subgraph's reachability
+// equals mask-based reachability on the original — the identity the
+// adaptive machinery relies on.
+func TestInduceMatchesMaskSemantics(t *testing.T) {
+	r := rng.New(41)
+	// Random DAG-ish graph with deterministic edges for exact reachability.
+	n := int32(20)
+	b := NewBuilder(n)
+	for i := 0; i < 40; i++ {
+		u, v := r.Int31n(n), r.Int31n(n)
+		if u != v {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	g, err := b.Build("mask", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := []int32{}
+	for v := int32(0); v < n; v++ {
+		if v%3 != 0 {
+			keep = append(keep, v)
+		}
+	}
+	sub, mapping, err := g.Induce(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from every kept node in both views.
+	reachMask := func(start int32) map[int32]bool {
+		kept := map[int32]bool{}
+		for _, v := range keep {
+			kept[v] = true
+		}
+		seen := map[int32]bool{start: true}
+		queue := []int32{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.OutNeighbors(u) {
+				if kept[v] && !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		return seen
+	}
+	for newID, oldID := range mapping {
+		want := reachMask(oldID)
+		seen := map[int32]bool{int32(newID): true}
+		queue := []int32{int32(newID)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range sub.OutNeighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("node %d: induced reach %d vs mask reach %d", oldID, len(seen), len(want))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package im
+
+import (
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/estimator"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Name: "im", N: 500, AvgDeg: 2.5, UniformMix: 0.4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSelectValidation(t *testing.T) {
+	g := testGraph(t)
+	r := rng.New(1)
+	if _, err := Select(nil, diffusion.IC, 1, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Select(g, diffusion.IC, 0, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Select(g, diffusion.IC, int(g.N())+1, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Select(g, diffusion.IC, 1, Options{Epsilon: 0}, r); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+// TestSelectShape: k distinct seeds, positive certified bound, bounded
+// ratio.
+func TestSelectShape(t *testing.T) {
+	g := testGraph(t)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		res, err := Select(g, model, 5, Options{Epsilon: 0.5}, rng.New(2))
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(res.Seeds) != 5 {
+			t.Fatalf("%v: %d seeds", model, len(res.Seeds))
+		}
+		seen := map[int32]bool{}
+		for _, s := range res.Seeds {
+			if seen[s] {
+				t.Fatalf("%v: duplicate seed %d", model, s)
+			}
+			seen[s] = true
+		}
+		if res.SpreadLB <= 0 || res.Ratio <= 0 || res.Ratio > 1 {
+			t.Fatalf("%v: implausible certification LB=%v ratio=%v", model, res.SpreadLB, res.Ratio)
+		}
+		if res.Sets == 0 {
+			t.Fatalf("%v: no RR sets generated", model)
+		}
+	}
+}
+
+// TestSelectQualityVsMC: the certified lower bound must hold against a
+// Monte-Carlo measurement, and the selected set must beat a random set of
+// the same size.
+func TestSelectQualityVsMC(t *testing.T) {
+	g := testGraph(t)
+	res, err := Select(g, diffusion.IC, 4, Options{Epsilon: 0.3}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := estimator.MCSpread(g, diffusion.IC, res.Seeds, nil, 4000, rng.New(4))
+	if mc < 0.9*res.SpreadLB {
+		t.Fatalf("MC spread %v below certified LB %v", mc, res.SpreadLB)
+	}
+	random := []int32{11, 222, 333, 444}
+	mcRand := estimator.MCSpread(g, diffusion.IC, random, nil, 4000, rng.New(5))
+	if mc <= mcRand {
+		t.Fatalf("OPIM set %v no better than random %v", mc, mcRand)
+	}
+}
+
+// TestSelectMonotoneInK: more budget never hurts the certified spread.
+func TestSelectMonotoneInK(t *testing.T) {
+	g := testGraph(t)
+	prev := 0.0
+	for _, k := range []int{1, 3, 6} {
+		res, err := Select(g, diffusion.IC, k, Options{Epsilon: 0.4}, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SpreadLB < prev*0.9 { // slack for independent certification noise
+			t.Fatalf("k=%d: LB %v dropped well below k-1's %v", k, res.SpreadLB, prev)
+		}
+		prev = res.SpreadLB
+	}
+}
+
+// TestSelectStarOptimal: on a star the best single seed is the center.
+func TestSelectStarOptimal(t *testing.T) {
+	g := gen.Star(50, 0.9)
+	res, err := Select(g, diffusion.IC, 1, Options{Epsilon: 0.3}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("picked %d, want the center", res.Seeds[0])
+	}
+}

@@ -1,0 +1,167 @@
+package imm
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/estimator"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/im"
+	"asti/internal/rng"
+)
+
+func TestSelectValidation(t *testing.T) {
+	g := gen.Star(5, 0.5)
+	r := rng.New(1)
+	if _, err := Select(nil, diffusion.IC, 1, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Select(g, diffusion.Model(99), 1, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("bad model accepted")
+	}
+	if _, err := Select(g, diffusion.IC, 0, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Select(g, diffusion.IC, 6, Options{Epsilon: 0.5}, r); err == nil {
+		t.Error("k>n accepted")
+	}
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, err := Select(g, diffusion.IC, 1, Options{Epsilon: eps}, r); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+}
+
+func TestSelectPicksHub(t *testing.T) {
+	// A strong hub with high-probability edges must be the 1-seed choice.
+	b := graph.NewBuilder(30)
+	for v := int32(1); v < 20; v++ {
+		b.AddEdge(0, v, 0.9)
+	}
+	for v := int32(20); v < 30; v++ {
+		b.AddEdge(v, (v+1)%10+20, 0.1)
+	}
+	g := b.MustBuild("hub", true)
+	res, err := Select(g, diffusion.IC, 1, Options{Epsilon: 0.3}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("seeds = %v, want [0]", res.Seeds)
+	}
+	if res.LB < 1 {
+		t.Fatalf("LB = %v, want ≥ 1", res.LB)
+	}
+	if res.Theta <= 0 || res.Sets <= 0 {
+		t.Fatalf("instrumentation Theta=%d Sets=%d", res.Theta, res.Sets)
+	}
+}
+
+// TestSelectMatchesOPIMC cross-checks the two certified IM solvers: their
+// seed sets must achieve expected spreads within Monte-Carlo noise of
+// each other on the same instance.
+func TestSelectMatchesOPIMC(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 300, 6, true, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	const k = 5
+	immRes, err := Select(g, diffusion.IC, k, Options{Epsilon: 0.3}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opimRes, err := im.Select(g, diffusion.IC, k, im.Options{Epsilon: 0.3}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 3000
+	sImm := estimator.MCSpread(g, diffusion.IC, immRes.Seeds, nil, samples, rng.New(3))
+	sOpim := estimator.MCSpread(g, diffusion.IC, opimRes.Seeds, nil, samples, rng.New(4))
+	// Both are ≥ (1−1/e)(1−ε)-quality, so they can differ by at most a
+	// modest factor; fail only on gross divergence.
+	lo, hi := sImm, sOpim
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 0.55*hi {
+		t.Fatalf("IMM spread %v vs OPIM-C spread %v diverge beyond guarantee slack", sImm, sOpim)
+	}
+}
+
+// TestSpreadEstConsistent: the pool-based estimate must agree with an
+// independent Monte-Carlo estimate of the selected set.
+func TestSpreadEstConsistent(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 200, 5, true, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	res, err := Select(g, diffusion.IC, 3, Options{Epsilon: 0.3}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := estimator.MCSpread(g, diffusion.IC, res.Seeds, nil, 4000, rng.New(8))
+	if math.Abs(res.SpreadEst-mc) > 0.25*math.Max(res.SpreadEst, mc) {
+		t.Fatalf("pool estimate %v vs MC %v disagree", res.SpreadEst, mc)
+	}
+}
+
+// TestSampleCountGrowsWithPrecision: smaller ε must not shrink the pool.
+func TestSampleCountGrowsWithPrecision(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 150, 4, true, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	loose, err := Select(g, diffusion.IC, 2, Options{Epsilon: 0.5}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Select(g, diffusion.IC, 2, Options{Epsilon: 0.2}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Theta < loose.Theta {
+		t.Fatalf("theta(ε=0.2)=%d < theta(ε=0.5)=%d", tight.Theta, loose.Theta)
+	}
+}
+
+func TestSelectLT(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 120, 4, true, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	res, err := Select(g, diffusion.LT, 3, Options{Epsilon: 0.4}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3", len(res.Seeds))
+	}
+	seen := map[int32]bool{}
+	for _, s := range res.Seeds {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestMaxSetsCapRespected(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 100, 4, true, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	res, err := Select(g, diffusion.IC, 2, Options{Epsilon: 0.1, MaxSets: 512}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta > 512 {
+		t.Fatalf("theta %d exceeds cap 512", res.Theta)
+	}
+}

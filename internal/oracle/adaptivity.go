@@ -1,0 +1,257 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"asti/internal/graph"
+)
+
+// OptimalBatchedValue returns the exact optimum of the BATCHED adaptive
+// seed-minimization problem: each round the policy commits a batch of
+// exactly min(b, inactive) seeds, pays for all of them, and only then
+// observes the propagation (full-adoption feedback). With b = 1 this is
+// OptimalAdaptiveValue; as b grows the policy loses adaptivity inside
+// batches, so the value is nondecreasing in b — the adaptivity gap the
+// paper's §4.2 Remark says is unknown in general. This function measures
+// it exactly on tiny instances.
+func OptimalBatchedValue(g *graph.Graph, eta int64, b int) (float64, error) {
+	if b < 1 {
+		return 0, fmt.Errorf("oracle: batch size %d < 1", b)
+	}
+	inst, err := newInstance(g, eta)
+	if err != nil {
+		return 0, err
+	}
+	memo := map[string]float64{}
+	return inst.batchedValue(0, inst.possibleWorlds(), b, memo), nil
+}
+
+// batchedValue is the optimal expected number of additional seeds from a
+// state when seeds are committed in batches of size b.
+func (in *instance) batchedValue(active uint32, consistent []int32, b int, memo map[string]float64) float64 {
+	if popcount(active) >= in.eta {
+		return 0
+	}
+	key := stateKey(active, consistent)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	var inactive []int32
+	for v := int32(0); v < int32(in.n); v++ {
+		if active&(1<<uint(v)) == 0 {
+			inactive = append(inactive, v)
+		}
+	}
+	size := b
+	if size > len(inactive) {
+		size = len(inactive)
+	}
+	var total float64
+	for _, φ := range consistent {
+		total += in.weight(φ)
+	}
+	best := math.Inf(1)
+	batch := make([]int32, size)
+	in.enumBatches(inactive, batch, 0, 0, func(B []int32) {
+		var exp float64
+		for _, gp := range in.partitionBatch(B, active, consistent) {
+			if gp.weight == 0 {
+				continue
+			}
+			exp += gp.weight / total * in.batchedValue(gp.active, gp.φs, b, memo)
+		}
+		if cost := float64(len(B)) + exp; cost < best {
+			best = cost
+		}
+	})
+	memo[key] = best
+	return best
+}
+
+// enumBatches enumerates all size-len(batch) subsets of candidates.
+func (in *instance) enumBatches(candidates []int32, batch []int32, pos, from int, fn func([]int32)) {
+	if pos == len(batch) {
+		fn(batch)
+		return
+	}
+	for i := from; i <= len(candidates)-(len(batch)-pos); i++ {
+		batch[pos] = candidates[i]
+		in.enumBatches(candidates, batch, pos+1, i+1, fn)
+	}
+}
+
+// reachSet extends reach to a batch of seeds.
+func (in *instance) reachSet(B []int32, active uint32, φ int32) uint32 {
+	out := active
+	for _, v := range B {
+		out = in.reach(v, out, φ)
+	}
+	return out
+}
+
+// partitionBatch groups consistent realizations by the observation that
+// committing batch B would produce.
+func (in *instance) partitionBatch(B []int32, active uint32, consistent []int32) []obsGroup {
+	type key struct {
+		active uint32
+		sig    int32
+	}
+	groups := map[key]*obsGroup{}
+	var order []key
+	for _, φ := range consistent {
+		na := in.reachSet(B, active, φ)
+		k := key{na, in.observedSignature(na, φ)}
+		gp, ok := groups[k]
+		if !ok {
+			gp = &obsGroup{active: na}
+			groups[k] = gp
+			order = append(order, k)
+		}
+		gp.φs = append(gp.φs, φ)
+		gp.weight += in.weight(φ)
+	}
+	out := make([]obsGroup, 0, len(order))
+	seen := map[key]bool{}
+	for _, k := range order {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, *groups[k])
+		}
+	}
+	return out
+}
+
+// NonAdaptiveMinSize returns the exact optimum of the paper's
+// NON-adaptive seed-minimization problem: the smallest seed set S with
+// E[I(S)] ≥ eta, found by exhaustive search in increasing size. The
+// returned set witnesses the optimum. This is what ATEUC approximates,
+// and the denominator of the adaptive-vs-non-adaptive comparison.
+func NonAdaptiveMinSize(g *graph.Graph, eta int64) (int, []int32, error) {
+	inst, err := newInstance(g, eta)
+	if err != nil {
+		return 0, nil, err
+	}
+	if inst.n > 20 {
+		return 0, nil, fmt.Errorf("oracle: %d nodes too many for subset search (limit 20)", inst.n)
+	}
+	worlds := inst.possibleWorlds()
+	weights := make([]float64, len(worlds))
+	for i, φ := range worlds {
+		weights[i] = inst.weight(φ)
+	}
+	nodes := make([]int32, inst.n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	for size := 1; size <= inst.n; size++ {
+		var found []int32
+		batch := make([]int32, size)
+		inst.enumBatches(nodes, batch, 0, 0, func(B []int32) {
+			if found != nil {
+				return
+			}
+			var exp float64
+			for i, φ := range worlds {
+				exp += weights[i] * float64(popcount(inst.reachSet(B, 0, φ)))
+			}
+			if exp >= float64(eta)-1e-12 {
+				found = append([]int32(nil), B...)
+			}
+		})
+		if found != nil {
+			return size, found, nil
+		}
+	}
+	return 0, nil, errors.New("oracle: no seed set reaches eta in expectation (unreachable: S=V has E[I]=n≥eta)")
+}
+
+// WorstCaseNonAdaptiveMinSize returns the smallest seed set S with
+// I_φ(S) ≥ eta on EVERY possible realization — the robust non-adaptive
+// optimum that matches the adaptive policies' always-feasible guarantee.
+// It can be much larger than NonAdaptiveMinSize (that excess is exactly
+// the value of adaptivity), and with deterministic edges it coincides
+// with the set-cover reduction of Lemma 3.5.
+func WorstCaseNonAdaptiveMinSize(g *graph.Graph, eta int64) (int, []int32, error) {
+	inst, err := newInstance(g, eta)
+	if err != nil {
+		return 0, nil, err
+	}
+	if inst.n > 20 {
+		return 0, nil, fmt.Errorf("oracle: %d nodes too many for subset search (limit 20)", inst.n)
+	}
+	worlds := inst.possibleWorlds()
+	nodes := make([]int32, inst.n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	for size := 1; size <= inst.n; size++ {
+		var found []int32
+		batch := make([]int32, size)
+		inst.enumBatches(nodes, batch, 0, 0, func(B []int32) {
+			if found != nil {
+				return
+			}
+			for _, φ := range worlds {
+				if popcount(inst.reachSet(B, 0, φ)) < eta {
+					return
+				}
+			}
+			found = append([]int32(nil), B...)
+		})
+		if found != nil {
+			return size, found, nil
+		}
+	}
+	return 0, nil, errors.New("oracle: even S=V misses eta on some realization")
+}
+
+// AdaptivityGap summarizes one instance's exact optima across batch
+// sizes, the quantities the paper's §4.2 Remark calls unknown.
+type AdaptivityGap struct {
+	// Eta is the threshold.
+	Eta int64
+	// Adaptive is OPT with b=1 (fully sequential).
+	Adaptive float64
+	// Batched maps batch size to the batched optimum.
+	Batched map[int]float64
+	// Greedy is the exact truncated-greedy policy value (what TRIM
+	// approximates).
+	Greedy float64
+	// NonAdaptiveExpect is the min |S| with E[I(S)] ≥ η.
+	NonAdaptiveExpect int
+	// NonAdaptiveRobust is the min |S| feasible on every realization
+	// (0 when no set is; see RobustFeasible).
+	NonAdaptiveRobust int
+	// RobustFeasible reports whether any set is worst-case feasible.
+	RobustFeasible bool
+}
+
+// ComputeAdaptivityGap evaluates all exact optima on one tiny instance
+// for the given batch sizes.
+func ComputeAdaptivityGap(g *graph.Graph, eta int64, batchSizes []int) (*AdaptivityGap, error) {
+	ag := &AdaptivityGap{Eta: eta, Batched: map[int]float64{}}
+	var err error
+	if ag.Adaptive, err = OptimalAdaptiveValue(g, eta); err != nil {
+		return nil, err
+	}
+	if ag.Greedy, err = GreedyPolicyValue(g, eta); err != nil {
+		return nil, err
+	}
+	for _, b := range batchSizes {
+		v, err := OptimalBatchedValue(g, eta, b)
+		if err != nil {
+			return nil, err
+		}
+		ag.Batched[b] = v
+	}
+	if ag.NonAdaptiveExpect, _, err = NonAdaptiveMinSize(g, eta); err != nil {
+		return nil, err
+	}
+	size, _, err := WorstCaseNonAdaptiveMinSize(g, eta)
+	if err == nil {
+		ag.NonAdaptiveRobust, ag.RobustFeasible = size, true
+	}
+	return ag, nil
+}

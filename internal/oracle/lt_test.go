@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/gen"
+	"asti/internal/graph"
+)
+
+// TestLTMatchesICOnTrees pins the classical fact that IC and LT coincide
+// when every node has at most one in-edge (a node's single in-edge is
+// live with probability p under both live-edge distributions), so the
+// two oracles must agree exactly on trees.
+func TestLTMatchesICOnTrees(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		eta  int64
+	}{
+		{"star5", gen.Star(5, 0.6), 3},
+		{"star6", gen.Star(6, 0.4), 4},
+		{"line4", gen.Line(4, 0.5), 2},
+		{"line5", gen.Line(5, 0.7), 3},
+	} {
+		ic, err := OptimalAdaptiveValue(tc.g, tc.eta)
+		if err != nil {
+			t.Fatalf("%s IC: %v", tc.name, err)
+		}
+		lt, err := OptimalAdaptiveValueLT(tc.g, tc.eta)
+		if err != nil {
+			t.Fatalf("%s LT: %v", tc.name, err)
+		}
+		if math.Abs(ic-lt) > 1e-9 {
+			t.Errorf("%s: IC optimum %v != LT optimum %v on a tree", tc.name, ic, lt)
+		}
+		icg, err := GreedyPolicyValue(tc.g, tc.eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ltg, err := GreedyPolicyValueLT(tc.g, tc.eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(icg-ltg) > 1e-9 {
+			t.Errorf("%s: IC greedy %v != LT greedy %v on a tree", tc.name, icg, ltg)
+		}
+	}
+}
+
+// ltDiamond builds an LT-valid diamond with in-degree 2 at the sink
+// (where LT and IC genuinely differ).
+func ltDiamond() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.6)
+	b.AddEdge(0, 2, 0.6)
+	b.AddEdge(1, 3, 0.5)
+	b.AddEdge(2, 3, 0.4)
+	return b.MustBuild("lt-diamond", true)
+}
+
+func TestLTGreedyAtLeastOptimal(t *testing.T) {
+	g := ltDiamond()
+	opt, err := OptimalAdaptiveValueLT(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GreedyPolicyValueLT(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy < opt-1e-9 {
+		t.Fatalf("greedy %v below optimum %v", greedy, opt)
+	}
+	if opt < 1 {
+		t.Fatalf("optimum %v below 1 seed", opt)
+	}
+}
+
+func TestLTDeterministicChain(t *testing.T) {
+	// p=1 chain: LT and IC both reduce to deterministic reachability;
+	// seeding the head covers everything in one seed.
+	g := gen.Line(4, 1.0)
+	opt, err := OptimalAdaptiveValueLT(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-1) > 1e-9 {
+		t.Fatalf("deterministic chain optimum %v, want 1", opt)
+	}
+}
+
+func TestLTValidation(t *testing.T) {
+	g := gen.Star(4, 0.5)
+	if _, err := OptimalAdaptiveValueLT(g, 0); err == nil {
+		t.Error("eta=0 accepted")
+	}
+	if _, err := OptimalAdaptiveValueLT(g, 99); err == nil {
+		t.Error("eta>n accepted")
+	}
+	// A dense graph whose LT world count exceeds the cap must be refused.
+	b := graph.NewBuilder(20)
+	for u := int32(0); u < 20; u++ {
+		for v := int32(0); v < 20; v++ {
+			if u != v {
+				b.AddEdge(u, v, 0.05)
+			}
+		}
+	}
+	dense := b.MustBuild("dense", true)
+	if _, err := OptimalAdaptiveValueLT(dense, 5); err == nil {
+		t.Error("oversized LT realization space accepted")
+	}
+}
+
+// TestLTWorldWeightsSum checks the enumerated realization space is a
+// probability distribution.
+func TestLTWorldWeightsSum(t *testing.T) {
+	g := ltDiamond()
+	inst, err := newLTInstance(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range inst.weights {
+		if w <= 0 {
+			t.Fatalf("non-positive world weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("world weights sum to %v, want 1", sum)
+	}
+}

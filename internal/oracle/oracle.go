@@ -1,0 +1,289 @@
+// Package oracle computes EXACT optima for tiny adaptive-seed-minimization
+// instances by dynamic programming over the realization space. It exists
+// to validate the paper's approximation claims against ground truth:
+// Definition 2.1's objective min_π E[|S(π,φ)|] is evaluated over ALL
+// adaptive policies, with the full-adoption feedback model (after seeding,
+// the policy observes the status of every edge leaving an activated node —
+// the bold/dashed arrows of the paper's Figure 1).
+//
+// The DP is exponential in the edge count (states are information sets:
+// subsets of consistent realizations), so callers must keep graphs tiny
+// (m ≤ ~14 edges). That is exactly the regime of the paper's worked
+// examples, and enough to check ratio bounds end-to-end.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"asti/internal/graph"
+)
+
+// maxOracleEdges bounds the 2^m realization enumeration.
+const maxOracleEdges = 14
+
+// instance precomputes per-realization reachability machinery.
+type instance struct {
+	g     *graph.Graph
+	n     int
+	m     int
+	probs []float64 // per dense out-edge id
+	srcOf []int32   // dense out-edge id -> source node
+	dstOf []int32
+	eta   int64
+}
+
+// OptimalAdaptiveValue returns min over all adaptive policies of the
+// expected number of seeds to reach eta activated nodes under the IC
+// model with full-adoption feedback — the exact optimum of Definition 2.1.
+func OptimalAdaptiveValue(g *graph.Graph, eta int64) (float64, error) {
+	inst, err := newInstance(g, eta)
+	if err != nil {
+		return 0, err
+	}
+	memo := map[string]float64{}
+	return inst.value(0, inst.possibleWorlds(), memo), nil
+}
+
+// GreedyPolicyValue returns the expected number of seeds used by the
+// exact greedy policy of Golovin & Krause (§2.4): each round seed the
+// node with maximum exact expected truncated marginal spread over the
+// current information set. This is the policy TRIM approximates; its
+// value sandwiches TRIM's between OPT and the (lnη+1)² bound.
+func GreedyPolicyValue(g *graph.Graph, eta int64) (float64, error) {
+	inst, err := newInstance(g, eta)
+	if err != nil {
+		return 0, err
+	}
+	memo := map[string]float64{}
+	return inst.greedyValue(0, inst.possibleWorlds(), memo), nil
+}
+
+func newInstance(g *graph.Graph, eta int64) (*instance, error) {
+	if g.M() > maxOracleEdges {
+		return nil, fmt.Errorf("oracle: graph has %d edges, limit %d", g.M(), maxOracleEdges)
+	}
+	if g.N() > 30 {
+		return nil, fmt.Errorf("oracle: graph has %d nodes, limit 30", g.N())
+	}
+	if eta < 1 || eta > int64(g.N()) {
+		return nil, fmt.Errorf("oracle: eta %d outside [1, n]", eta)
+	}
+	inst := &instance{g: g, n: int(g.N()), m: int(g.M()), eta: eta}
+	inst.probs = make([]float64, inst.m)
+	inst.srcOf = make([]int32, inst.m)
+	inst.dstOf = make([]int32, inst.m)
+	var eid int64
+	for u := int32(0); u < g.N(); u++ {
+		adj := g.OutNeighbors(u)
+		probs := g.OutProbs(u)
+		for i := range adj {
+			inst.probs[eid] = float64(probs[i])
+			inst.srcOf[eid] = u
+			inst.dstOf[eid] = adj[i]
+			eid++
+		}
+	}
+	return inst, nil
+}
+
+// possibleWorlds enumerates the realizations with non-zero probability.
+// Impossible worlds (a p=1 edge blocked, a p=0 edge live) must never
+// enter an information set: they would create zero-weight observation
+// groups whose conditional value is undefined.
+func (in *instance) possibleWorlds() []int32 {
+	var out []int32
+	for φ := int32(0); φ < 1<<uint(in.m); φ++ {
+		if in.weight(φ) > 0 {
+			out = append(out, φ)
+		}
+	}
+	return out
+}
+
+// weight returns the probability of realization mask φ.
+func (in *instance) weight(φ int32) float64 {
+	p := 1.0
+	for e := 0; e < in.m; e++ {
+		if φ&(1<<uint(e)) != 0 {
+			p *= in.probs[e]
+		} else {
+			p *= 1 - in.probs[e]
+		}
+	}
+	return p
+}
+
+// reach returns the activation mask after seeding v on top of active,
+// under realization φ.
+func (in *instance) reach(v int32, active uint32, φ int32) uint32 {
+	if active&(1<<uint(v)) != 0 {
+		return active
+	}
+	out := active | 1<<uint(v)
+	queue := []int32{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := 0; e < in.m; e++ {
+			if in.srcOf[e] != u || φ&(1<<uint(e)) == 0 {
+				continue
+			}
+			w := in.dstOf[e]
+			if out&(1<<uint(w)) == 0 {
+				out |= 1 << uint(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// observedSignature is what full-adoption feedback reveals after the
+// activation mask becomes `active` under φ: the statuses of all edges
+// whose source is active.
+func (in *instance) observedSignature(active uint32, φ int32) int32 {
+	var sig int32
+	for e := 0; e < in.m; e++ {
+		if active&(1<<uint(in.srcOf[e])) != 0 && φ&(1<<uint(e)) != 0 {
+			sig |= 1 << uint(e)
+		}
+	}
+	return sig
+}
+
+type obsGroup struct {
+	active uint32
+	φs     []int32
+	weight float64
+}
+
+// partition groups the consistent realizations by the observation that
+// seeding v would produce.
+func (in *instance) partition(v int32, active uint32, consistent []int32) []obsGroup {
+	type key struct {
+		active uint32
+		sig    int32
+	}
+	groups := map[key]*obsGroup{}
+	var order []key
+	for _, φ := range consistent {
+		na := in.reach(v, active, φ)
+		k := key{na, in.observedSignature(na, φ)}
+		gp, ok := groups[k]
+		if !ok {
+			gp = &obsGroup{active: na}
+			groups[k] = gp
+			order = append(order, k)
+		}
+		gp.φs = append(gp.φs, φ)
+		gp.weight += in.weight(φ)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].active != order[j].active {
+			return order[i].active < order[j].active
+		}
+		return order[i].sig < order[j].sig
+	})
+	out := make([]obsGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
+func popcount(x uint32) int64 {
+	var c int64
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func stateKey(active uint32, consistent []int32) string {
+	buf := make([]byte, 0, 4+2*len(consistent))
+	buf = append(buf, byte(active), byte(active>>8), byte(active>>16), byte(active>>24))
+	for _, φ := range consistent {
+		buf = append(buf, byte(φ), byte(φ>>8))
+	}
+	return string(buf)
+}
+
+// value is the optimal expected number of additional seeds from a state.
+func (in *instance) value(active uint32, consistent []int32, memo map[string]float64) float64 {
+	if popcount(active) >= in.eta {
+		return 0
+	}
+	key := stateKey(active, consistent)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	var total float64
+	for _, φ := range consistent {
+		total += in.weight(φ)
+	}
+	best := math.Inf(1)
+	for v := int32(0); v < int32(in.n); v++ {
+		if active&(1<<uint(v)) != 0 {
+			continue
+		}
+		var exp float64
+		for _, gp := range in.partition(v, active, consistent) {
+			if gp.weight == 0 {
+				continue // float underflow guard; probability-zero branch
+			}
+			exp += gp.weight / total * in.value(gp.active, gp.φs, memo)
+		}
+		if exp+1 < best {
+			best = exp + 1
+		}
+	}
+	memo[key] = best
+	return best
+}
+
+// greedyValue evaluates the exact greedy (max expected truncated marginal
+// spread) policy from a state.
+func (in *instance) greedyValue(active uint32, consistent []int32, memo map[string]float64) float64 {
+	if popcount(active) >= in.eta {
+		return 0
+	}
+	key := stateKey(active, consistent)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	var total float64
+	for _, φ := range consistent {
+		total += in.weight(φ)
+	}
+	// Pick the greedy node: max Δ(v | state) = E[min(newly, η_i)].
+	etaI := in.eta - popcount(active)
+	var bestNode int32 = -1
+	bestGain := -1.0
+	for v := int32(0); v < int32(in.n); v++ {
+		if active&(1<<uint(v)) != 0 {
+			continue
+		}
+		var gain float64
+		for _, φ := range consistent {
+			newly := popcount(in.reach(v, active, φ)) - popcount(active)
+			if newly > etaI {
+				newly = etaI
+			}
+			gain += in.weight(φ) / total * float64(newly)
+		}
+		if gain > bestGain {
+			bestGain, bestNode = gain, v
+		}
+	}
+	var exp float64
+	for _, gp := range in.partition(bestNode, active, consistent) {
+		if gp.weight == 0 {
+			continue
+		}
+		exp += gp.weight / total * in.greedyValue(gp.active, gp.φs, memo)
+	}
+	memo[key] = exp + 1
+	return exp + 1
+}

@@ -1,0 +1,220 @@
+// Package pq provides an indexed max-priority queue over int32 node ids,
+// plus the lazy-forward ("CELF") evaluation loop built on top of it.
+//
+// Greedy submodular maximization repeatedly picks argmax_v f(v | S). The
+// CELF observation (Leskovec et al., KDD 2007) is that because f is
+// submodular, a node's marginal gain only shrinks as S grows, so a stale
+// cached gain is an upper bound: pop the max, re-evaluate it once, and if
+// it stays on top it is the true argmax — usually after a handful of
+// evaluations instead of n. Lazy wraps that loop; Queue is the underlying
+// addressable binary heap, also used directly by heuristics that decrease
+// keys (e.g. DegreeDiscountIC in internal/centrality).
+package pq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Queue is an addressable binary max-heap of (node, priority) pairs.
+// Nodes are int32 ids in [0, n); each node appears at most once. The zero
+// value is not usable; construct with New.
+type Queue struct {
+	nodes []int32   // heap order
+	prio  []float64 // aligned with nodes
+	pos   []int32   // node id -> index in nodes, -1 if absent
+}
+
+// New returns an empty queue admitting node ids in [0, n).
+func New(n int32) *Queue {
+	if n < 0 {
+		n = 0
+	}
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Queue{pos: pos}
+}
+
+// Len reports the number of queued nodes.
+func (q *Queue) Len() int { return len(q.nodes) }
+
+// Contains reports whether node v is queued.
+func (q *Queue) Contains(v int32) bool {
+	return v >= 0 && int(v) < len(q.pos) && q.pos[v] >= 0
+}
+
+// Priority returns v's current priority; ok is false if v is not queued.
+func (q *Queue) Priority(v int32) (p float64, ok bool) {
+	if !q.Contains(v) {
+		return 0, false
+	}
+	return q.prio[q.pos[v]], true
+}
+
+// Push inserts v with priority p, or updates v's priority if already
+// queued. It returns an error for out-of-range ids.
+func (q *Queue) Push(v int32, p float64) error {
+	if v < 0 || int(v) >= len(q.pos) {
+		return fmt.Errorf("pq: node %d outside [0, %d)", v, len(q.pos))
+	}
+	if i := q.pos[v]; i >= 0 {
+		old := q.prio[i]
+		q.prio[i] = p
+		if p > old {
+			q.up(int(i))
+		} else if p < old {
+			q.down(int(i))
+		}
+		return nil
+	}
+	q.nodes = append(q.nodes, v)
+	q.prio = append(q.prio, p)
+	q.pos[v] = int32(len(q.nodes) - 1)
+	q.up(len(q.nodes) - 1)
+	return nil
+}
+
+// Peek returns the max-priority node without removing it; ok is false on
+// an empty queue.
+func (q *Queue) Peek() (v int32, p float64, ok bool) {
+	if len(q.nodes) == 0 {
+		return -1, 0, false
+	}
+	return q.nodes[0], q.prio[0], true
+}
+
+// Pop removes and returns the max-priority node; ok is false on an empty
+// queue.
+func (q *Queue) Pop() (v int32, p float64, ok bool) {
+	if len(q.nodes) == 0 {
+		return -1, 0, false
+	}
+	v, p = q.nodes[0], q.prio[0]
+	q.remove(0)
+	return v, p, true
+}
+
+// Remove deletes node v from the queue if present, reporting whether it
+// was.
+func (q *Queue) Remove(v int32) bool {
+	if !q.Contains(v) {
+		return false
+	}
+	q.remove(int(q.pos[v]))
+	return true
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.nodes) - 1
+	q.pos[q.nodes[i]] = -1
+	if i != last {
+		q.nodes[i], q.prio[i] = q.nodes[last], q.prio[last]
+		q.pos[q.nodes[i]] = int32(i)
+	}
+	q.nodes = q.nodes[:last]
+	q.prio = q.prio[:last]
+	if i < last {
+		// The moved element may need to go either way.
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.prio[i] <= q.prio[parent] {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.nodes)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && q.prio[l] > q.prio[big] {
+			big = l
+		}
+		if r < n && q.prio[r] > q.prio[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		q.swap(i, big)
+		i = big
+	}
+}
+
+func (q *Queue) swap(i, j int) {
+	q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i]
+	q.prio[i], q.prio[j] = q.prio[j], q.prio[i]
+	q.pos[q.nodes[i]] = int32(i)
+	q.pos[q.nodes[j]] = int32(j)
+}
+
+// Lazy runs the CELF lazy-forward loop over a queue of cached upper
+// bounds. Construct with NewLazy, then call Next once per greedy round.
+type Lazy struct {
+	q *Queue
+	// round tags cached priorities: a node evaluated in an older round is
+	// stale and must be re-evaluated before it can win.
+	evalRound []int32
+	round     int32
+	// Evaluations counts gain-function calls, the metric CELF exists to
+	// minimize.
+	Evaluations int64
+}
+
+// NewLazy wraps nodes (each with initial upper bound from gain) into a
+// lazy-forward evaluator. gain is called once per node up front.
+func NewLazy(n int32, candidates []int32, gain func(v int32) float64) (*Lazy, error) {
+	if gain == nil {
+		return nil, errors.New("pq: nil gain function")
+	}
+	l := &Lazy{q: New(n), evalRound: make([]int32, n)}
+	for _, v := range candidates {
+		l.Evaluations++
+		if err := l.q.Push(v, gain(v)); err != nil {
+			return nil, err
+		}
+		l.evalRound[v] = 0
+	}
+	return l, nil
+}
+
+// Next pops the next true argmax under the (submodular) gain function,
+// re-evaluating stale entries as needed. It returns ok=false when the
+// queue is exhausted. Advancing rounds is implicit: each successful Next
+// starts a new round.
+func (l *Lazy) Next(gain func(v int32) float64) (v int32, g float64, ok bool) {
+	l.round++
+	for {
+		top, cached, ok := l.q.Peek()
+		if !ok {
+			return -1, 0, false
+		}
+		if l.evalRound[top] == l.round {
+			l.q.Pop()
+			return top, cached, true
+		}
+		// Stale: re-evaluate; submodularity makes the fresh value ≤ cached.
+		l.Evaluations++
+		fresh := gain(top)
+		l.evalRound[top] = l.round
+		l.q.Push(top, fresh)
+	}
+}
+
+// Remove discards a candidate (e.g. a node that became active between
+// greedy rounds).
+func (l *Lazy) Remove(v int32) bool { return l.q.Remove(v) }
+
+// Len reports the number of remaining candidates.
+func (l *Lazy) Len() int { return l.q.Len() }

@@ -1,0 +1,162 @@
+package rrset
+
+import "asti/internal/graph"
+
+// Collection accumulates mRR (or RR) sets and maintains the coverage
+// counts Λ_R(v) — the number of stored sets containing v — plus an
+// inverted index (node → set ids) for greedy max-coverage. It backs both
+// TRIM (argmax over Λ) and TRIM-B / ATEUC (greedy coverage).
+type Collection struct {
+	n     int32
+	count int // sets accounted for (stored or counts-only)
+	sets  [][]int32
+	cov   []int64   // Λ_R(v)
+	index [][]int32 // node -> ids of sets containing it
+	nodes int64     // Σ|R| over all accounted sets
+}
+
+// NewCollection returns an empty Collection over graphs with n nodes.
+func NewCollection(g *graph.Graph) *Collection {
+	return &Collection{
+		n:     g.N(),
+		cov:   make([]int64, g.N()),
+		index: make([][]int32, g.N()),
+	}
+}
+
+// Add stores one set (taking ownership of the slice) and updates coverage.
+// Mixing Add and AddCountsOnly in one Collection is not supported: greedy
+// coverage would silently ignore the counts-only sets.
+func (c *Collection) Add(set []int32) {
+	id := int32(len(c.sets))
+	c.sets = append(c.sets, set)
+	c.count++
+	c.nodes += int64(len(set))
+	for _, v := range set {
+		c.cov[v]++
+		c.index[v] = append(c.index[v], id)
+	}
+}
+
+// AddCountsOnly updates the coverage counts Λ_R(v) without retaining the
+// set. TRIM with batch size 1 only ever needs argmax over Λ, so skipping
+// storage and the inverted index removes the dominant memory traffic of a
+// round (the caller may reuse the slice).
+func (c *Collection) AddCountsOnly(set []int32) {
+	c.count++
+	c.nodes += int64(len(set))
+	for _, v := range set {
+		c.cov[v]++
+	}
+}
+
+// Size returns the number of sets accounted for.
+func (c *Collection) Size() int { return c.count }
+
+// TotalNodes returns the sum of set sizes (memory/cost proxy).
+func (c *Collection) TotalNodes() int64 { return c.nodes }
+
+// Coverage returns Λ_R(v).
+func (c *Collection) Coverage(v int32) int64 { return c.cov[v] }
+
+// Set returns the id-th stored set (read-only).
+func (c *Collection) Set(id int32) []int32 { return c.sets[id] }
+
+// IndexOf returns the ids of the stored sets containing v (read-only).
+func (c *Collection) IndexOf(v int32) []int32 { return c.index[v] }
+
+// ArgmaxCoverage returns the node with maximum Λ_R(v) restricted to the
+// candidate list (nil = all nodes), and its coverage. Ties break toward
+// the smaller node id for determinism.
+func (c *Collection) ArgmaxCoverage(candidates []int32) (best int32, cov int64) {
+	best = -1
+	if candidates == nil {
+		for v := int32(0); v < c.n; v++ {
+			if c.cov[v] > cov || best < 0 {
+				best, cov = v, c.cov[v]
+			}
+		}
+		return best, cov
+	}
+	for _, v := range candidates {
+		if best < 0 || c.cov[v] > cov {
+			best, cov = v, c.cov[v]
+		}
+	}
+	return best, cov
+}
+
+// GreedyMaxCoverage selects up to b nodes greedily maximizing marginal
+// set coverage (the classic (1-(1-1/b)^b)-approximate max-coverage greedy
+// the paper uses in TRIM-B, Line 8). It returns the selected nodes and the
+// number of sets they jointly cover. Coverage state in the Collection is
+// not modified; the walk uses temporary marks.
+//
+// candidates restricts selection (nil = all nodes). Selection stops early
+// if every remaining set is covered.
+func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32, covered int64) {
+	if b <= 0 {
+		return nil, 0
+	}
+	marg := make([]int64, c.n)
+	copy(marg, c.cov)
+	coveredSet := make([]bool, len(c.sets))
+	for len(seeds) < b {
+		var best int32 = -1
+		var bestCov int64
+		if candidates == nil {
+			for v := int32(0); v < c.n; v++ {
+				if best < 0 || marg[v] > bestCov {
+					best, bestCov = v, marg[v]
+				}
+			}
+		} else {
+			for _, v := range candidates {
+				if best < 0 || marg[v] > bestCov {
+					best, bestCov = v, marg[v]
+				}
+			}
+		}
+		if best < 0 || bestCov == 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		covered += bestCov
+		// Retire every set newly covered by best and decrement the marginal
+		// coverage of its members.
+		for _, id := range c.index[best] {
+			if coveredSet[id] {
+				continue
+			}
+			coveredSet[id] = true
+			for _, w := range c.sets[id] {
+				marg[w]--
+			}
+		}
+	}
+	return seeds, covered
+}
+
+// CoverageOf returns the number of stored sets intersecting the node set S.
+func (c *Collection) CoverageOf(S []int32) int64 {
+	seen := make(map[int32]struct{}, 64)
+	for _, v := range S {
+		for _, id := range c.index[v] {
+			seen[id] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// Reset drops all stored sets but keeps allocated capacity where possible.
+func (c *Collection) Reset() {
+	c.sets = c.sets[:0]
+	c.count = 0
+	c.nodes = 0
+	for i := range c.cov {
+		c.cov[i] = 0
+	}
+	for i := range c.index {
+		c.index[i] = c.index[i][:0]
+	}
+}

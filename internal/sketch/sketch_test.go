@@ -1,0 +1,202 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/estimator"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+func TestBuildValidation(t *testing.T) {
+	g := gen.Star(5, 0.5)
+	r := rng.New(1)
+	if _, err := BuildOracle(nil, diffusion.IC, Options{}, r); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := BuildOracle(g, diffusion.Model(42), Options{}, r); err == nil {
+		t.Error("bad model accepted")
+	}
+	if _, err := BuildOracle(g, diffusion.IC, Options{Instances: -1}, r); err == nil {
+		t.Error("negative instances accepted")
+	}
+	if _, err := BuildOracle(g, diffusion.IC, Options{K: 1}, r); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestSketchInvariants(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 100, 4, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 16, K: 8}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < g.N(); v++ {
+		s := o.skts[v]
+		if len(s) > o.k {
+			t.Fatalf("node %d sketch size %d > k %d", v, len(s), o.k)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("node %d sketch not ascending: %v", v, s)
+			}
+		}
+		// Every node reaches itself in all ℓ instances, so its sketch has
+		// min(ℓ, …) ≥ 1 entries.
+		if len(s) == 0 {
+			t.Fatalf("node %d has empty sketch", v)
+		}
+	}
+	if o.EdgesVisited == 0 {
+		t.Fatal("no edges visited")
+	}
+}
+
+// TestEstimateMatchesExact compares against exact IC expectation on a
+// tiny graph where full enumeration is feasible.
+func TestEstimateMatchesExact(t *testing.T) {
+	g := gen.Figure1Graph()
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 3000, K: 4096}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < g.N(); v++ {
+		exact, err := estimator.ExactSpreadIC(g, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.Estimate(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) > 0.15*exact+0.05 {
+			t.Fatalf("node %d: sketch %.3f vs exact %.3f", v, got, exact)
+		}
+	}
+}
+
+// TestEstimateMatchesMC checks agreement with Monte-Carlo on a larger
+// graph where sketches must actually saturate and use the bottom-k
+// estimator.
+func TestEstimateMatchesMC(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 400, 6, true, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 128, K: 128}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check a handful of nodes with decent spread.
+	for _, v := range []int32{0, 13, 100, 399} {
+		mc := estimator.MCSpread(g, diffusion.IC, []int32{v}, nil, 4000, rng.New(uint64(v)+99))
+		got, err := o.Estimate(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-mc) > 0.3*mc+0.3 {
+			t.Fatalf("node %d: sketch %.2f vs MC %.2f", v, got, mc)
+		}
+	}
+}
+
+func TestTopFindsHub(t *testing.T) {
+	b := graph.NewBuilder(40)
+	for v := int32(1); v < 25; v++ {
+		b.AddEdge(0, v, 0.95)
+	}
+	for v := int32(25); v < 40; v++ {
+		b.AddEdge(v, (v+1-25)%15+25, 0.05)
+	}
+	g := b.MustBuild("hub", true)
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 64, K: 32}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := o.Top(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 0 {
+		t.Fatalf("top node %d, want hub 0", top[0])
+	}
+	if _, err := o.Top(0); err == nil {
+		t.Error("Top(0) accepted")
+	}
+}
+
+func TestEstimateRangeErrors(t *testing.T) {
+	g := gen.Star(4, 0.5)
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 8, K: 4}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Estimate(-1); err == nil {
+		t.Error("Estimate(-1) accepted")
+	}
+	if _, err := o.Estimate(4); err == nil {
+		t.Error("Estimate(n) accepted")
+	}
+	if o.K() != 4 || o.Instances() != 8 {
+		t.Fatalf("accessors: K=%d Instances=%d", o.K(), o.Instances())
+	}
+}
+
+func TestLTOracle(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 150, 4, true, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	o, err := BuildOracle(g, diffusion.LT, Options{Instances: 64, K: 64}, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check one node against MC under LT.
+	mc := estimator.MCSpread(g, diffusion.LT, []int32{5}, nil, 4000, rng.New(33))
+	got, err := o.Estimate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-mc) > 0.35*mc+0.35 {
+		t.Fatalf("LT: sketch %.2f vs MC %.2f", got, mc)
+	}
+}
+
+// TestSketchCannotEstimateTruncated pins the §3.2 argument that motivates
+// mRR-sets: rescaling an untruncated estimator cannot recover the
+// truncated spread. The best "sketch-style" truncated estimate,
+// min(Estimate(v), η), is biased upward relative to E[min(I(v), η)]
+// whenever the spread distribution straddles η.
+func TestSketchCannotEstimateTruncated(t *testing.T) {
+	// Hub with 9 leaves at p=0.5: I(hub) ~ 1+Binomial(9,0.5), η=5 sits
+	// mid-distribution.
+	g := gen.Star(10, 0.5)
+	const eta = 5
+	o, err := BuildOracle(g, diffusion.IC, Options{Instances: 2000, K: 4096}, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactTrunc, err := estimator.ExactTruncatedIC(g, []int32{0}, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := o.Estimate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := math.Min(est, eta)
+	// E[I] = 5.5, E[min(I,5)] ≈ 4.4: min-of-mean overshoots mean-of-min.
+	if naive <= exactTrunc+0.3 {
+		t.Fatalf("expected min(Ê[I],η)=%.2f to overestimate E[min(I,η)]=%.2f — the §3.2 gap vanished?",
+			naive, exactTrunc)
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asti/internal/rng"
+)
+
+func TestBootstrapCIValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, _, err := BootstrapCI(nil, 0.95, 100, r); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 1.5, 100, r); err == nil {
+		t.Error("level>1 accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 0.95, 5, r); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, 0.95, 100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestBootstrapCIBracketsMean(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + r.Float64()*2 // mean 11
+	}
+	lo, hi, err := BootstrapCI(xs, 0.95, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mean(xs)
+	if !(lo <= m && m <= hi) {
+		t.Fatalf("CI [%v, %v] does not bracket sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 || hi-lo > 1 {
+		t.Fatalf("CI width %v implausible for n=200, range 2", hi-lo)
+	}
+}
+
+// Property: wider confidence level ⇒ wider interval.
+func TestBootstrapCIMonotoneInLevel(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Exp()
+		}
+		lo90, hi90, err := BootstrapCI(xs, 0.90, 800, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		lo99, hi99, err := BootstrapCI(xs, 0.99, 800, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		return hi99-lo99 >= hi90-lo90-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedPermutationDetectsShift(t *testing.T) {
+	r := rng.New(3)
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := r.Float64() * 10
+		a[i] = base + 2 + r.Float64()*0.2 // consistent +2 shift
+		b[i] = base
+	}
+	p, diff, err := PairedPermutationTest(a, b, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff < 1.5 {
+		t.Fatalf("mean diff %v, want ≈ 2", diff)
+	}
+	if p > 0.01 {
+		t.Fatalf("p = %v for a consistent shift, want < 0.01", p)
+	}
+}
+
+func TestPairedPermutationNullIsFlat(t *testing.T) {
+	// Under H0 (identical distributions) p should not be tiny.
+	r := rng.New(5)
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64()
+	}
+	p, _, err := PairedPermutationTest(a, b, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("p = %v under the null — test is anticonservative", p)
+	}
+}
+
+func TestPairedPermutationValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, _, err := PairedPermutationTest([]float64{1}, []float64{1, 2}, 100, r); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := PairedPermutationTest(nil, nil, 100, r); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, _, err := PairedPermutationTest([]float64{1}, []float64{2}, 5, r); err == nil {
+		t.Error("too few permutations accepted")
+	}
+	if _, _, err := PairedPermutationTest([]float64{1}, []float64{2}, 100, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	r := rng.New(11)
+	n := 25
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		base := r.Float64() * 5
+		a[i] = base + 1
+		b[i] = base
+	}
+	w, p, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := float64(n*(n+1)) / 2 // all differences positive: W = full rank sum
+	if math.Abs(w-wantW) > 1e-9 {
+		t.Fatalf("W = %v, want %v", w, wantW)
+	}
+	if p > 0.001 {
+		t.Fatalf("p = %v for uniform +1 shift", p)
+	}
+}
+
+func TestWilcoxonAllTies(t *testing.T) {
+	a := []float64{1, 2, 3}
+	w, p, err := WilcoxonSignedRank(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 || p != 1 {
+		t.Fatalf("all-ties: (W=%v, p=%v), want (0, 1)", w, p)
+	}
+}
+
+func TestWilcoxonMidranks(t *testing.T) {
+	// |diffs| = {1,1,2}: ranks {1.5, 1.5, 3}. Signs +,−,+ ⇒ W = 1.5+3.
+	a := []float64{2, 0, 5}
+	b := []float64{1, 1, 3}
+	w, _, err := WilcoxonSignedRank(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-4.5) > 1e-9 {
+		t.Fatalf("W = %v, want 4.5 (midranks)", w)
+	}
+}
+
+func TestWilcoxonValidation(t *testing.T) {
+	if _, _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median = %v, want 2", m)
+	}
+}

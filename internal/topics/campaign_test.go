@@ -1,0 +1,97 @@
+package topics
+
+import (
+	"testing"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+)
+
+func campaignModel(t *testing.T) *Model {
+	t.Helper()
+	g, err := gen.ErdosRenyi("er", 300, 5, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	m, err := NewRandom(g, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlanCampaignsReachesEveryEta(t *testing.T) {
+	m := campaignModel(t)
+	items := []Item{
+		{Name: "broad", Mixture: Uniform(3), EtaFrac: 0.1},
+		{Name: "niche-0", Mixture: Single(3, 0), EtaFrac: 0.05},
+		{Name: "niche-2", Mixture: Single(3, 2), EtaFrac: 0.05},
+	}
+	plan, err := PlanCampaigns(m, items, diffusion.IC, 0.5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(plan.Results))
+	}
+	for _, res := range plan.Results {
+		if res.Spread < res.Eta {
+			t.Fatalf("item %q: spread %d < eta %d", res.Item, res.Spread, res.Eta)
+		}
+		if len(res.Seeds) == 0 || res.Rounds == 0 {
+			t.Fatalf("item %q: empty campaign", res.Item)
+		}
+	}
+	if plan.TotalSeeds < plan.DistinctSeeds {
+		t.Fatalf("total %d < distinct %d", plan.TotalSeeds, plan.DistinctSeeds)
+	}
+}
+
+func TestPlanCampaignsOverlap(t *testing.T) {
+	m := campaignModel(t)
+	items := []Item{
+		{Name: "a", Mixture: Uniform(3), EtaFrac: 0.1},
+		{Name: "b", Mixture: Uniform(3), EtaFrac: 0.1},
+	}
+	plan, err := PlanCampaigns(m, items, diffusion.IC, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := plan.Overlap(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov < 0 || ov > 1 {
+		t.Fatalf("overlap %v outside [0,1]", ov)
+	}
+	self, err := plan.Overlap(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 1 {
+		t.Fatalf("self-overlap %v, want 1", self)
+	}
+	if _, err := plan.Overlap(0, 5); err == nil {
+		t.Error("out-of-range overlap accepted")
+	}
+}
+
+func TestPlanCampaignsValidation(t *testing.T) {
+	m := campaignModel(t)
+	if _, err := PlanCampaigns(m, nil, diffusion.IC, 0.5, 1); err == nil {
+		t.Error("empty item list accepted")
+	}
+	bad := []Item{{Name: "x", Mixture: Uniform(3), EtaFrac: 0}}
+	if _, err := PlanCampaigns(m, bad, diffusion.IC, 0.5, 1); err == nil {
+		t.Error("eta fraction 0 accepted")
+	}
+	wrongMix := []Item{{Name: "y", Mixture: Uniform(2), EtaFrac: 0.1}}
+	if _, err := PlanCampaigns(m, wrongMix, diffusion.IC, 0.5, 1); err == nil {
+		t.Error("wrong mixture arity accepted")
+	}
+	badEps := []Item{{Name: "z", Mixture: Uniform(3), EtaFrac: 0.1}}
+	if _, err := PlanCampaigns(m, badEps, diffusion.IC, 0, 1); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Package topics implements the topic-aware propagation extension the
+// paper points at in §2 (Barbieri et al.'s topic-aware models, reference
+// [4]): each edge carries one propagation probability per topic, an item
+// is a mixture over topics, and the effective influence graph for an item
+// blends the per-topic probabilities with the item's mixture
+//
+//	p_item(u,v) = Σ_z γ_z · p_z(u,v).
+//
+// ASM itself is unchanged — the paper's claim is exactly that the
+// algorithms run on the blended graph — so this package produces blended
+// graph.Graph values the rest of the library consumes as-is.
+package topics
+
+import (
+	"fmt"
+	"math"
+
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// Model holds per-topic edge probabilities for one graph, aligned with
+// the graph's dense out-edge ids.
+type Model struct {
+	g     *graph.Graph
+	k     int
+	probs [][]float32 // probs[z][edgeID]
+}
+
+// K returns the number of topics.
+func (m *Model) K() int { return m.k }
+
+// Graph returns the underlying graph.
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// TopicProb returns p_z(u→v) for the out-edge with dense id eid.
+func (m *Model) TopicProb(z int, eid int64) float64 {
+	return float64(m.probs[z][eid])
+}
+
+// NewRandom synthesizes a k-topic model around g's existing edge
+// probabilities: each edge's per-topic probabilities are a random
+// reweighting whose UNIFORM mixture reproduces the original probability
+// exactly. That keeps the blended graphs within the calibrated
+// weighted-cascade regime while making topics genuinely heterogeneous
+// (some edges conduct topic z strongly, others barely).
+func NewRandom(g *graph.Graph, k int, seed uint64) (*Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topics: need at least 1 topic, got %d", k)
+	}
+	r := rng.New(seed)
+	m := &Model{g: g, k: k, probs: make([][]float32, k)}
+	for z := range m.probs {
+		m.probs[z] = make([]float32, g.M())
+	}
+	weights := make([]float64, k)
+	var eid int64
+	for u := int32(0); u < g.N(); u++ {
+		base := g.OutProbs(u)
+		for i := range base {
+			// Random relative conductances raw_z = k·w_z/Σw (mean exactly
+			// 1), then damp the heterogeneity just enough that every
+			// p_z = p·(1 + α(raw_z − 1)) stays in [0, 1]. The damping
+			// preserves the mean, so the uniform mixture reproduces p
+			// EXACTLY; edges with p near 1 simply cannot vary much across
+			// topics (they must not, or some topic would need p_z > 1).
+			var sum, maxW float64
+			for z := range weights {
+				weights[z] = r.Exp()
+				sum += weights[z]
+				if weights[z] > maxW {
+					maxW = weights[z]
+				}
+			}
+			p := float64(base[i])
+			maxRaw := float64(k) * maxW / sum
+			alpha := 1.0
+			if maxRaw > 1 && p > 0 {
+				if cap := (1/p - 1) / (maxRaw - 1); cap < alpha {
+					alpha = cap
+				}
+			}
+			for z := range weights {
+				raw := float64(k) * weights[z] / sum
+				m.probs[z][eid+int64(i)] = float32(p * (1 + alpha*(raw-1)))
+			}
+		}
+		eid += int64(len(base))
+	}
+	return m, nil
+}
+
+// Blend materializes the effective influence graph for an item with the
+// given topic mixture (non-negative, summing to 1 within tolerance).
+func (m *Model) Blend(name string, mixture []float64) (*graph.Graph, error) {
+	if len(mixture) != m.k {
+		return nil, fmt.Errorf("topics: mixture has %d entries, model has %d topics", len(mixture), m.k)
+	}
+	var sum float64
+	for z, w := range mixture {
+		if w < 0 {
+			return nil, fmt.Errorf("topics: negative mixture weight %v for topic %d", w, z)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("topics: mixture sums to %v, want 1", sum)
+	}
+	b := graph.NewBuilder(m.g.N())
+	var eid int64
+	for u := int32(0); u < m.g.N(); u++ {
+		adj := m.g.OutNeighbors(u)
+		for i, v := range adj {
+			var p float64
+			for z, w := range mixture {
+				p += w * float64(m.probs[z][eid+int64(i)])
+			}
+			if p <= 0 {
+				// An edge no topic conducts: drop it (the blended graph
+				// simply lacks it). Guard the builder's (0,1] contract.
+				continue
+			}
+			if p > 1 {
+				p = 1
+			}
+			b.AddEdge(u, v, p)
+		}
+		eid += int64(len(adj))
+	}
+	return b.Build(name, m.g.Directed())
+}
+
+// Uniform returns the uniform mixture over k topics.
+func Uniform(k int) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1 / float64(k)
+	}
+	return w
+}
+
+// Single returns the degenerate mixture concentrated on topic z.
+func Single(k, z int) []float64 {
+	w := make([]float64, k)
+	w[z] = 1
+	return w
+}

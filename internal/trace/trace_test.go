@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asti/internal/rng"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{Title: "seeds vs eta", XLabel: "eta/n", YLabel: "seeds"}
+	a := f.AddSeries("ASTI")
+	a.Add(0.01, 12)
+	a.Add(0.05, 48)
+	a.Add(0.1, 90)
+	b := f.AddSeries("ATEUC")
+	b.Add(0.01, 15)
+	b.Add(0.05, 70)
+	b.Add(0.1, 130)
+	return f
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := sampleFigure()
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFiguresEqual(t, f, got)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	f := sampleFigure()
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSV drops the title (by design); compare the rest.
+	got.Title = f.Title
+	assertFiguresEqual(t, f, got)
+}
+
+func assertFiguresEqual(t *testing.T, want, got *Figure) {
+	t.Helper()
+	if got.XLabel != want.XLabel || got.YLabel != want.YLabel {
+		t.Fatalf("labels: got (%q,%q) want (%q,%q)", got.XLabel, got.YLabel, want.XLabel, want.YLabel)
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count %d, want %d", len(got.Series), len(want.Series))
+	}
+	for i := range want.Series {
+		ws, gs := want.Series[i], got.Series[i]
+		if ws.Name != gs.Name || len(ws.Points) != len(gs.Points) {
+			t.Fatalf("series %d: got %q/%d points, want %q/%d", i, gs.Name, len(gs.Points), ws.Name, len(ws.Points))
+		}
+		for j := range ws.Points {
+			if math.Abs(ws.Points[j].X-gs.Points[j].X) > 1e-12 ||
+				math.Abs(ws.Points[j].Y-gs.Points[j].Y) > 1e-12 {
+				t.Fatalf("series %d point %d: got %+v want %+v", i, j, gs.Points[j], ws.Points[j])
+			}
+		}
+	}
+}
+
+// Property: CSV round-trip preserves arbitrary float payloads exactly
+// (we write with 'g'/-1 which is shortest-round-trip).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		fig := &Figure{XLabel: "x", YLabel: "y"}
+		ns := 1 + r.Intn(4)
+		for s := 0; s < ns; s++ {
+			sr := fig.AddSeries(strings.Repeat("s", s+1))
+			np := 1 + r.Intn(8)
+			for p := 0; p < np; p++ {
+				sr.Add(r.Float64()*1e6-5e5, r.Exp())
+			}
+		}
+		var buf bytes.Buffer
+		if err := fig.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Series) != len(fig.Series) {
+			return false
+		}
+		for i := range fig.Series {
+			if got.Series[i].Name != fig.Series[i].Name {
+				return false
+			}
+			for j := range fig.Series[i].Points {
+				if got.Series[i].Points[j] != fig.Series[i].Points[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n",
+		"series,x,y\nA,notanumber,2\n",
+		"series,x,y\nA,1,notanumber\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) did not error", in)
+		}
+	}
+}
+
+func TestChartRendersMarksAndLegend(t *testing.T) {
+	f := sampleFigure()
+	var buf bytes.Buffer
+	if err := f.Chart(&buf, ChartOptions{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"seeds vs eta", "ASTI", "ATEUC", "eta/n", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + ylabel + 10 rows + axis + xlabels + 2 legend = 16
+	if len(lines) != 16 {
+		t.Fatalf("chart has %d lines, want 16:\n%s", len(lines), out)
+	}
+}
+
+func TestChartMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must place its marker for the max-x point on a
+	// higher row than for the min-x point.
+	f := &Figure{XLabel: "x", YLabel: "y"}
+	s := f.AddSeries("up")
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	var buf bytes.Buffer
+	if err := f.Chart(&buf, ChartOptions{Width: 30, Height: 12}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	firstRow, lastRow := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "*") {
+			if firstRow < 0 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow < 0 || firstRow == lastRow {
+		t.Fatalf("markers not spread across rows:\n%s", buf.String())
+	}
+	// Top rows print first: the max-y marker appears before the min-y one.
+	topLine := lines[firstRow]
+	if !strings.Contains(topLine, "*") {
+		t.Fatal("no marker on top row")
+	}
+	// The top row's marker should sit to the RIGHT (large x) for an
+	// increasing series.
+	topCol := strings.IndexByte(topLine, '*')
+	botCol := strings.LastIndexByte(lines[lastRow], '*')
+	if topCol <= botCol {
+		t.Fatalf("increasing series renders decreasing: top marker col %d ≤ bottom col %d\n%s",
+			topCol, botCol, buf.String())
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	f := &Figure{XLabel: "x", YLabel: "t"}
+	s := f.AddSeries("exp")
+	for i := 1; i <= 6; i++ {
+		s.Add(float64(i), math.Pow(10, float64(i)))
+	}
+	var buf bytes.Buffer
+	if err := f.Chart(&buf, ChartOptions{Width: 30, Height: 8, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log10") {
+		t.Fatal("log axis not labelled")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Figure{}
+	if err := f.Chart(&buf, ChartOptions{}); err == nil {
+		t.Error("empty figure charted without error")
+	}
+	f2 := sampleFigure()
+	if err := f2.Chart(&buf, ChartOptions{Width: 2, Height: 2}); err == nil {
+		t.Error("tiny chart area accepted")
+	}
+	// All-nonpositive Y under LogY leaves nothing to chart.
+	f3 := &Figure{}
+	s := f3.AddSeries("neg")
+	s.Add(1, -5)
+	if err := f3.Chart(&buf, ChartOptions{LogY: true}); err == nil {
+		t.Error("log chart of nonpositive data accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package trim
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/oracle"
+	"asti/internal/rng"
+)
+
+// TestASTIWithinLTOracleBound closes the loop on the LT side: measured
+// expected seed counts of ASTI under the LT model on tree fixtures must
+// sit between the exact LT optimum and the Theorem 3.7 policy bound, and
+// close to the exact LT greedy value (which TRIM approximates).
+func TestASTIWithinLTOracleBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eta  int64
+	}{
+		{"star6", 4},
+		{"line5", 3},
+	} {
+		g := fixtureGraphLT(tc.name)
+		opt, err := oracle.OptimalAdaptiveValueLT(g, tc.eta)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		greedy, err := oracle.GreedyPolicyValueLT(g, tc.eta)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		const worlds = 4000
+		base := rng.New(0xA11CE)
+		var total float64
+		for w := 0; w < worlds; w++ {
+			φ := diffusion.SampleRealization(g, diffusion.LT, base.Split())
+			pol := MustNew(Config{Epsilon: 0.3, Batch: 1, Truncated: true})
+			res, err := adaptive.Run(g, diffusion.LT, tc.eta, pol, φ, base.Split())
+			if err != nil {
+				t.Fatalf("%s world %d: %v", tc.name, w, err)
+			}
+			if res.Spread < tc.eta {
+				t.Fatalf("%s: LT run missed eta", tc.name)
+			}
+			total += float64(len(res.Seeds))
+		}
+		measured := total / worlds
+
+		// Sandwich with MC tolerance: OPT − noise ≤ measured ≤ greedy + slack.
+		if measured < opt-0.05 {
+			t.Errorf("%s: measured %.4f below the exact LT optimum %.4f", tc.name, measured, opt)
+		}
+		if measured > greedy+0.35 {
+			t.Errorf("%s: measured %.4f far above the exact LT greedy %.4f", tc.name, measured, greedy)
+		}
+	}
+}
+
+// fixtureGraphLT returns tree fixtures (LT-valid: single in-edges).
+func fixtureGraphLT(name string) *graph.Graph {
+	switch name {
+	case "star6":
+		return gen.Star(6, 0.4)
+	default:
+		return gen.Line(5, 0.7)
+	}
+}

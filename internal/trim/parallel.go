@@ -1,0 +1,100 @@
+package trim
+
+import (
+	"sync"
+
+	"asti/internal/adaptive"
+	"asti/internal/rng"
+	"asti/internal/rrset"
+)
+
+// parallelThreshold is the pool increment below which parallel generation
+// is not worth the goroutine overhead.
+const parallelThreshold = 256
+
+// generateParallel grows coll by (total − coll.Size()) sets using the
+// policy's worker count. Determinism: one batch seed is drawn from the
+// policy's stream, and set index i derives its private generator as
+// SplitMix64(batchSeed + i) — identical output for ANY worker count, so
+// Workers=8 and Workers=2 select the same seeds. (The stream differs from
+// the sequential path's, which threads st.Rng through every set; both are
+// valid samples of the same distribution.)
+func (p *Policy) generateParallel(coll *rrset.Collection, st *adaptive.State, total int64, countsOnly bool) {
+	ni := st.Ni()
+	etai := st.EtaI()
+	need := int(total - int64(coll.Size()))
+	if need <= 0 {
+		return
+	}
+	batchSeed := st.Rng.Uint64()
+	workers := p.cfg.Workers
+	if workers > need {
+		workers = need
+	}
+
+	sets := make([][]int32, need)
+	var wg sync.WaitGroup
+	var edges int64
+	var edgesMu sync.Mutex
+	chunk := (need + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > need {
+			hi = need
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sampler := rrset.NewSampler(st.G, st.Model)
+			for i := lo; i < hi; i++ {
+				r := rng.New(rng.SplitMix64(batchSeed + uint64(i)))
+				if p.cfg.Truncated {
+					k := p.rootSizeWith(ni, etai, r)
+					sets[i] = sampler.MRR(k, st.Inactive, st.Active, r, nil)
+				} else {
+					sets[i] = sampler.RR(st.Inactive, st.Active, r, nil)
+				}
+			}
+			edgesMu.Lock()
+			edges += sampler.EdgesExamined
+			edgesMu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for _, set := range sets {
+		if countsOnly {
+			coll.AddCountsOnly(set)
+		} else {
+			coll.Add(set)
+		}
+		p.Stats.Sets++
+		p.Stats.SetNodes += int64(len(set))
+	}
+	p.Stats.EdgesExamined += edges
+}
+
+// rootSizeWith is rootSize against an explicit generator (the parallel
+// path cannot share st.Rng across goroutines).
+func (p *Policy) rootSizeWith(ni, etai int64, r *rng.Source) int {
+	switch p.cfg.Rounding {
+	case RoundFloor:
+		k := ni / etai
+		if k < 1 {
+			k = 1
+		}
+		return int(k)
+	case RoundCeil:
+		k := ni/etai + 1
+		if k > ni {
+			k = ni
+		}
+		return int(k)
+	default:
+		return rrset.RootSize(ni, etai, r)
+	}
+}

@@ -1,0 +1,96 @@
+package trim
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+)
+
+func TestParallelWorkersAgree(t *testing.T) {
+	g, err := gen.Dataset("synth-nethept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := g.Generate(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(gg.N()) * 0.1)
+	world := diffusion.SampleRealization(gg, diffusion.IC, rng.New(5))
+
+	runWith := func(workers int) []int32 {
+		pol := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true, Workers: workers})
+		res, err := adaptive.Run(gg, diffusion.IC, eta, pol, world, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Spread < eta {
+			t.Fatalf("workers=%d: spread %d < eta %d", workers, res.Spread, eta)
+		}
+		return res.Seeds
+	}
+	two := runWith(2)
+	eight := runWith(8)
+	if len(two) != len(eight) {
+		t.Fatalf("worker counts disagree: %d seeds (w=2) vs %d (w=8)", len(two), len(eight))
+	}
+	for i := range two {
+		if two[i] != eight[i] {
+			t.Fatalf("seed %d differs: %d (w=2) vs %d (w=8)", i, two[i], eight[i])
+		}
+	}
+}
+
+func TestParallelQualityMatchesSequential(t *testing.T) {
+	// Parallel and sequential streams differ, but both must deliver the
+	// certified quality: seed counts within a small factor on the same
+	// world.
+	g, err := gen.Dataset("synth-nethept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := g.Generate(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(gg.N()) * 0.1)
+	world := diffusion.SampleRealization(gg, diffusion.IC, rng.New(9))
+
+	seq := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	resSeq, err := adaptive.Run(gg, diffusion.IC, eta, seq, world, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true, Workers: 4})
+	resPar, err := adaptive.Run(gg, diffusion.IC, eta, par, world, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := len(resSeq.Seeds), len(resPar.Seeds)
+	if a > 2*b+2 || b > 2*a+2 {
+		t.Fatalf("parallel quality diverges: %d seeds sequential vs %d parallel", a, b)
+	}
+	if par.Stats.Sets == 0 {
+		t.Fatal("parallel policy generated no sets")
+	}
+}
+
+func TestParallelBatchedMode(t *testing.T) {
+	g, err := gen.ErdosRenyi("er", 400, 5, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	world := diffusion.SampleRealization(g, diffusion.IC, rng.New(11))
+	pol := MustNew(Config{Epsilon: 0.5, Batch: 4, Truncated: true, Workers: 3})
+	res, err := adaptive.Run(g, diffusion.IC, 80, pol, world, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < 80 {
+		t.Fatalf("spread %d < 80", res.Spread)
+	}
+}

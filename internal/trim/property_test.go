@@ -1,0 +1,119 @@
+package trim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asti/internal/adaptive"
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/estimator"
+	"asti/internal/gen"
+	"asti/internal/rng"
+	"asti/internal/trim"
+)
+
+// TestSelectBatchInvariants (property): for random residual states, every
+// batch is non-empty, within the batch size, duplicate-free, and drawn
+// entirely from the inactive set — under both models and both objectives.
+func TestSelectBatchInvariants(t *testing.T) {
+	g := qualityGraph(t, 300)
+	r := rng.New(55)
+	if err := quick.Check(func(rawB, rawEta, rawMask uint8) bool {
+		// Random residual state: mask out a random subset of nodes.
+		active := bitset.New(int(g.N()))
+		var inactive []int32
+		maskRate := float64(rawMask%60) / 100
+		for v := int32(0); v < g.N(); v++ {
+			if r.Bernoulli(maskRate) {
+				active.Set(v)
+			} else {
+				inactive = append(inactive, v)
+			}
+		}
+		if len(inactive) < 2 {
+			return true
+		}
+		ni := int64(len(inactive))
+		// η_i ∈ [1, n_i]; reconstruct a consistent global η.
+		etai := int64(rawEta)%ni + 1
+		eta := etai + (int64(g.N()) - ni)
+
+		b := int(rawB)%6 + 1
+		model := diffusion.IC
+		if rawB%2 == 0 {
+			model = diffusion.LT
+		}
+		truncated := rawEta%2 == 0
+
+		p := trim.MustNew(trim.Config{Epsilon: 0.5, Batch: b, Truncated: truncated})
+		st := &adaptive.State{
+			G: g, Model: model, Eta: eta,
+			Active: active, Inactive: inactive, Rng: r,
+		}
+		batch, err := p.SelectBatch(st)
+		if err != nil {
+			return false
+		}
+		if len(batch) == 0 || len(batch) > b {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, s := range batch {
+			if seen[s] || active.Get(s) {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicSeedStream: the same inputs and rng seed produce the
+// same seed sequence (experiment reproducibility).
+func TestDeterministicSeedStream(t *testing.T) {
+	g := qualityGraph(t, 300)
+	run := func() []int32 {
+		p := trim.MustNew(trim.Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(77))
+		res, err := adaptive.Run(g, diffusion.IC, 40, p, φ, rng.New(78))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seeds
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic seed counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestExactOraclesAgreeOnDeterministicGraphs: with every probability 1,
+// IC and LT coincide (full reachability), so the exhaustive oracles must
+// agree — a cross-check of two independent enumerators.
+func TestExactOraclesAgreeOnDeterministicGraphs(t *testing.T) {
+	g := gen.Line(6, 1.0)
+	for v := int32(0); v < g.N(); v++ {
+		ic, err := estimator.ExactSpreadIC(g, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := estimator.ExactSpreadLT(g, []int32{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ic != lt {
+			t.Fatalf("v=%d: IC %v vs LT %v on deterministic line", v, ic, lt)
+		}
+		if want := float64(6 - v); ic != want {
+			t.Fatalf("v=%d: spread %v, want %v", v, ic, want)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package trim_test
+
+import (
+	"math"
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/baselines"
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/estimator"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+	"asti/internal/trim"
+)
+
+// TestTRIMPerRoundQualityExact checks Lemma 3.6 empirically on a graph
+// small enough for exact evaluation: across repeated runs, the node TRIM
+// selects must have expected truncated spread at least (1−1/e)(1−ε) times
+// the best node's — with a small statistical slack for the certification
+// failure probability δ.
+func TestTRIMPerRoundQualityExact(t *testing.T) {
+	g := gen.Figure1Graph() // 6 nodes, 7 edges — exact oracle applies
+	eta := int64(4)
+
+	// Exact Δ(v) for every node.
+	best := math.Inf(-1)
+	exact := make([]float64, g.N())
+	for v := int32(0); v < g.N(); v++ {
+		val, err := estimator.ExactTruncatedIC(g, []int32{v}, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact[v] = val
+		if val > best {
+			best = val
+		}
+	}
+
+	eps := 0.3
+	floor := (1 - 1/math.E) * (1 - eps) * best
+	violations := 0
+	const runs = 60
+	for i := 0; i < runs; i++ {
+		p := trim.MustNew(trim.Config{Epsilon: eps, Batch: 1, Truncated: true})
+		st := &adaptive.State{
+			G: g, Model: diffusion.IC, Eta: eta,
+			Active:   bitset.New(int(g.N())),
+			Inactive: []int32{0, 1, 2, 3, 4, 5},
+			Rng:      rng.New(uint64(i)),
+		}
+		batch, err := p.SelectBatch(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact[batch[0]] < floor-1e-9 {
+			violations++
+		}
+	}
+	if violations > runs/10 {
+		t.Fatalf("per-round guarantee violated in %d/%d runs (floor %.3f, exact=%v)",
+			violations, runs, floor, exact)
+	}
+}
+
+// TestTRIMRespectsGuaranteeFloorExample23: on the Example 2.3 graph with
+// η=2 and ε=0.1, the guarantee floor is (1−1/e)(1−0.1)·2 ≈ 1.14, so TRIM
+// may pick v1 (Δ=1.75 — its mRR estimate E[Γ̃(v1)]=1.75 actually exceeds
+// E[Γ̃(v2)]=5/3, since v2's estimate pays the truncation discount while
+// v1's does not; Theorem 3.3 bounds each estimate, not their order) but
+// must essentially never pick v4 (Δ=1, below the floor).
+func TestTRIMRespectsGuaranteeFloorExample23(t *testing.T) {
+	g := gen.Figure2Graph()
+	picksV4 := 0
+	const runs = 40
+	for i := 0; i < runs; i++ {
+		p := trim.MustNew(trim.Config{Epsilon: 0.1, Batch: 1, Truncated: true})
+		st := &adaptive.State{
+			G: g, Model: diffusion.IC, Eta: 2,
+			Active:   bitset.New(4),
+			Inactive: []int32{0, 1, 2, 3},
+			Rng:      rng.New(uint64(i) * 13),
+		}
+		batch, err := p.SelectBatch(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[0] == 3 {
+			picksV4++
+		}
+	}
+	if picksV4 > 0 {
+		t.Fatalf("picked the below-floor node v4 in %d/%d runs", picksV4, runs)
+	}
+}
+
+// TestASTIMatchesMCGreedySeedCounts: on a small graph, the full ASTI loop
+// should use about as few seeds as the Monte-Carlo greedy oracle policy
+// (within ~1 seed on average) — the practical content of the paper's
+// approximation claims.
+func TestASTIMatchesMCGreedySeedCounts(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		Name: "q", N: 250, AvgDeg: 2, UniformMix: 0.4, LWCCFrac: 0.6, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(50)
+	const worlds = 5
+	var trimSeeds, oracleSeeds float64
+	for w := uint64(0); w < worlds; w++ {
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(w))
+		p := trim.MustNew(trim.Config{Epsilon: 0.3, Batch: 1, Truncated: true})
+		resT, err := adaptive.Run(g, diffusion.IC, eta, p, φ, rng.New(w+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trimSeeds += float64(len(resT.Seeds))
+
+		oracle := &baselines.MCGreedy{Samples: 300, Truncated: true}
+		resO, err := adaptive.Run(g, diffusion.IC, eta, oracle, φ, rng.New(w+200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleSeeds += float64(len(resO.Seeds))
+	}
+	trimSeeds /= worlds
+	oracleSeeds /= worlds
+	if trimSeeds > oracleSeeds+2 {
+		t.Fatalf("TRIM used %.1f seeds vs MC-greedy oracle %.1f", trimSeeds, oracleSeeds)
+	}
+}
+
+// TestSetCoverReduction exercises Lemma 3.5's regime: with all edge
+// probabilities 1, ASM is exactly set cover, every observation is
+// deterministic, and ASTI must solve the instance with the greedy
+// set-cover seed count.
+func TestSetCoverReduction(t *testing.T) {
+	// Three disjoint stars with 9, 6 and 3 leaves; η = 19 requires all
+	// three centers (greedy picks them largest-first: 10+7+3 > 19 after
+	// center 3... 10+7 = 17 < 19, so exactly 3 seeds).
+	b := graph.NewBuilder(21)
+	next := int32(3)
+	for center, leaves := range map[int32]int{0: 9, 1: 6, 2: 3} {
+		for i := 0; i < leaves; i++ {
+			b.AddEdge(center, next, 1)
+			next++
+		}
+	}
+	g := b.MustBuild("threestars", true)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(1))
+
+	p := trim.MustNew(trim.Config{Epsilon: 0.3, Batch: 1, Truncated: true})
+	res, err := adaptive.Run(g, diffusion.IC, 19, p, φ, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread < 19 {
+		t.Fatalf("spread %d", res.Spread)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("used %d seeds (%v), want the 3 star centers", len(res.Seeds), res.Seeds)
+	}
+	for _, s := range res.Seeds {
+		if s > 2 {
+			t.Fatalf("seeded a leaf (%d) in a deterministic set-cover instance", s)
+		}
+	}
+}
+
+func qualityGraph(t testing.TB, n int32) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		Name: "test-pl", N: n, AvgDeg: 2.2, Directed: false, UniformMix: 0.25, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	return g
+}
+
+// TestBatchOvershootBehaviour: with b larger than needed, TRIM-B selects
+// the full batch in one round (the paper's η/n=0.01 ASTI-8 overshoot
+// observation, §6.2) — and still terminates immediately after.
+func TestBatchOvershootBehaviour(t *testing.T) {
+	g := qualityGraph(t, 400)
+	p := trim.MustNew(trim.Config{Epsilon: 0.5, Batch: 8, Truncated: true})
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(3))
+	res, err := adaptive.Run(g, diffusion.IC, 8, p, φ, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("want a single round, got %d", len(res.Rounds))
+	}
+	if res.Spread < 8 {
+		t.Fatalf("spread %d", res.Spread)
+	}
+}
+
+// TestEpsilonControlsSampling: smaller ε must generate more mRR sets for
+// the same instance (the ε⁻² in Lemma 3.9).
+func TestEpsilonControlsSampling(t *testing.T) {
+	g := qualityGraph(t, 500)
+	sets := func(eps float64) int64 {
+		p := trim.MustNew(trim.Config{Epsilon: eps, Batch: 1, Truncated: true})
+		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(7))
+		if _, err := adaptive.Run(g, diffusion.IC, 60, p, φ, rng.New(8)); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats.Sets
+	}
+	loose := sets(0.7)
+	tight := sets(0.2)
+	if tight <= loose {
+		t.Fatalf("ε=0.2 generated %d sets, ε=0.7 %d — want more for tighter ε", tight, loose)
+	}
+}
+
+// TestTRIMBBatchQualityExact checks Lemma 4.1's guarantee empirically on
+// an enumerable instance: the pair TRIM-B(b=2) selects must have exact
+// expected truncated spread at least ρ₂(1−1/e)(1−ε) times the best
+// pair's, with slack for the certification failure probability and the
+// estimator's own (1−1/e) ordering distortion (Theorem 3.3 bounds values,
+// not order, so the comparison uses the guarantee floor, not the argmax).
+func TestTRIMBBatchQualityExact(t *testing.T) {
+	g := gen.Figure1Graph()
+	eta := int64(5)
+
+	// Exact Δ(S) for every pair.
+	best := math.Inf(-1)
+	pairVal := map[[2]int32]float64{}
+	for a := int32(0); a < g.N(); a++ {
+		for b := a + 1; b < g.N(); b++ {
+			val, err := estimator.ExactTruncatedIC(g, []int32{a, b}, eta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairVal[[2]int32{a, b}] = val
+			if val > best {
+				best = val
+			}
+		}
+	}
+
+	eps := 0.3
+	rho2 := 0.75 // 1-(1-1/2)^2
+	floor := rho2 * (1 - 1/math.E) * (1 - eps) * best
+	violations := 0
+	const runs = 40
+	for i := 0; i < runs; i++ {
+		p := trim.MustNew(trim.Config{Epsilon: eps, Batch: 2, Truncated: true})
+		st := &adaptive.State{
+			G: g, Model: diffusion.IC, Eta: eta,
+			Active:   bitset.New(int(g.N())),
+			Inactive: []int32{0, 1, 2, 3, 4, 5},
+			Rng:      rng.New(uint64(i) * 31),
+		}
+		batch, err := p.SelectBatch(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != 2 {
+			t.Fatalf("run %d: batch size %d", i, len(batch))
+		}
+		a, b := batch[0], batch[1]
+		if a > b {
+			a, b = b, a
+		}
+		if pairVal[[2]int32{a, b}] < floor-1e-9 {
+			violations++
+		}
+	}
+	if violations > runs/10 {
+		t.Fatalf("batch guarantee violated in %d/%d runs (floor %.3f)", violations, runs, floor)
+	}
+}
+
+// TestMarginalSpreadDecays: the Appendix D property — realized marginal
+// spreads trend downward along the seed sequence (adaptive
+// submodularity). Realization noise makes individual steps non-monotone,
+// so compare the first half's mean against the second half's.
+func TestMarginalSpreadDecays(t *testing.T) {
+	g := qualityGraph(t, 800)
+	p := trim.MustNew(trim.Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(5))
+	res, err := adaptive.Run(g, diffusion.IC, int64(float64(g.N())*0.3), p, φ, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 6 {
+		t.Skipf("only %d rounds; decay check needs more", len(res.Rounds))
+	}
+	half := len(res.Rounds) / 2
+	var first, second float64
+	for i, tr := range res.Rounds {
+		if i < half {
+			first += float64(tr.Marginal)
+		} else {
+			second += float64(tr.Marginal)
+		}
+	}
+	first /= float64(half)
+	second /= float64(len(res.Rounds) - half)
+	if second > first {
+		t.Fatalf("marginals grew: first-half mean %.1f, second-half %.1f", first, second)
+	}
+}
