@@ -21,9 +21,29 @@
 //	res, _ := asti.RunAdaptive(g, asti.IC, 500, policy, world, 43)
 //	fmt.Println(len(res.Seeds), "seeds influenced", res.Spread, "users")
 //
+// # The sampling engine and the Workers knob
+//
+// All RR/mRR sampling — TRIM's adaptive rounds, the OPIM-C and IMM
+// influence maximizers, and the ATEUC baseline alike — runs through one
+// shared concurrent engine (internal/rrset.Engine): a persistent worker
+// pool with per-worker scratch, a pluggable root strategy (single-root
+// RR; randomized/floor/ceil-rounded mRR), and reusable set collections
+// that reset in O(touched) between adaptive rounds. Each sampled set
+// seeds its own generator from the batch seed, so results are
+// byte-identical for every worker count: parallelism is purely a speed
+// knob.
+//
+// The knob is plumbed through the facade as WithWorkers:
+//
+//	policy, _ := asti.NewASTI(0.5, asti.WithWorkers(8))
+//	res, _ := asti.MaximizeInfluence(g, asti.IC, 50, 0.1, 7, asti.WithWorkers(4))
+//
+// The default (0) uses GOMAXPROCS; WithWorkers(1) forces the sequential
+// path. Both select the same seeds.
+//
 // The subpackages under internal/ hold the implementation: graph (CSR
-// substrate), diffusion (IC/LT models and realizations), rrset (mRR
-// sampling), trim (the core algorithms), adaptive (the ASTI loop),
+// substrate), diffusion (IC/LT models and realizations), rrset (the mRR
+// sampling engine), trim (the core algorithms), adaptive (the ASTI loop),
 // baselines, and bench (the experiment harness behind cmd/experiments).
 package asti
 
@@ -110,24 +130,49 @@ func GenerateDataset(name string, scale float64) (*Graph, error) {
 	return spec.Generate(scale)
 }
 
+// Option configures the sampling machinery behind a policy or solver.
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers sizes the sampling engine's worker pool: 0 (the default)
+// uses GOMAXPROCS, 1 forces the sequential path, n > 1 uses n workers.
+// Selections are byte-identical for every setting.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
 // NewASTI returns the paper's TRIM policy: one seed per round maximizing
 // the expected truncated marginal spread, with a (1−1/e)(1−ε)
 // per-round guarantee and the (lnη+1)²/((1−1/e)(1−ε)) overall ratio.
-func NewASTI(epsilon float64) (Policy, error) {
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true})
+func NewASTI(epsilon float64, opts ...Option) (Policy, error) {
+	o := applyOptions(opts)
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: o.workers})
 }
 
 // NewASTIBatch returns the TRIM-B policy selecting b seeds per round
 // (guarantee scaled by ρ_b = 1−(1−1/b)^b).
-func NewASTIBatch(epsilon float64, b int) (Policy, error) {
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true})
+func NewASTIBatch(epsilon float64, b int, opts ...Option) (Policy, error) {
+	o := applyOptions(opts)
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: o.workers})
 }
 
 // NewAdaptIM returns the adaptive influence-maximization baseline: greedy
 // on the untruncated marginal spread (no ASM approximation guarantee; the
 // paper's §6 comparison).
-func NewAdaptIM(epsilon float64) (Policy, error) {
-	return baselines.NewAdaptIM(epsilon, 0)
+func NewAdaptIM(epsilon float64, opts ...Option) (Policy, error) {
+	o := applyOptions(opts)
+	return baselines.NewAdaptIM(epsilon, 0, o.workers)
 }
 
 // SampleRealization draws one influence world for g under the model.
@@ -146,8 +191,9 @@ func RunAdaptive(g *Graph, model Model, eta int64, policy Policy, world *Realiza
 // S with E[I(S)] ≥ eta without observing any propagation. Unlike adaptive
 // runs, S may miss eta on individual realizations; score it with
 // EvaluateSeedSet.
-func SelectNonAdaptive(g *Graph, model Model, eta int64, epsilon float64, seed uint64) ([]int32, error) {
-	a := &baselines.ATEUC{Epsilon: epsilon}
+func SelectNonAdaptive(g *Graph, model Model, eta int64, epsilon float64, seed uint64, opts ...Option) ([]int32, error) {
+	o := applyOptions(opts)
+	a := &baselines.ATEUC{Epsilon: epsilon, Workers: o.workers}
 	return a.Select(g, model, eta, rng.New(seed))
 }
 
@@ -220,8 +266,9 @@ type IMResult = im.Result
 // influence maximization — with the OPIM-C algorithm TRIM descends from:
 // it selects k seeds whose expected spread is within (1−1/e)(1−ε) of the
 // optimal k-set's, with a certified spread lower bound.
-func MaximizeInfluence(g *Graph, model Model, k int, epsilon float64, seed uint64) (*IMResult, error) {
-	return im.Select(g, model, k, im.Options{Epsilon: epsilon}, rng.New(seed))
+func MaximizeInfluence(g *Graph, model Model, k int, epsilon float64, seed uint64, opts ...Option) (*IMResult, error) {
+	o := applyOptions(opts)
+	return im.Select(g, model, k, im.Options{Epsilon: epsilon, Workers: o.workers}, rng.New(seed))
 }
 
 // PolicyName formats the conventional name for a batch size (helper for

@@ -168,19 +168,20 @@ func BenchmarkRealizationSampling(b *testing.B) {
 }
 
 // BenchmarkGreedyCoverage measures the TRIM-B greedy over a realistic
-// mRR pool.
+// mRR pool (built through the shared sampling engine).
 func BenchmarkGreedyCoverage(b *testing.B) {
 	g := benchGraph(b)
-	s := rrset.NewSampler(g, diffusion.IC)
-	r := rng.New(5)
 	inactive := make([]int32, g.N())
 	for i := range inactive {
 		inactive[i] = int32(i)
 	}
+	engine := rrset.NewEngine(g, diffusion.IC, 0)
+	defer engine.Close()
 	coll := rrset.NewCollection(g)
-	for i := 0; i < 5000; i++ {
-		coll.Add(s.MRR(10, inactive, nil, r, nil))
-	}
+	engine.Generate(coll, rrset.Request{
+		Strategy: rrset.MultiRoot(rrset.RoundRandomized), Inactive: inactive,
+		EtaI: int64(g.N()) / 10, Count: 5000, Seed: 5,
+	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		coll.GreedyMaxCoverage(8, nil)

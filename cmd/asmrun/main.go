@@ -36,7 +36,7 @@ func main() {
 		eta          = flag.Int64("eta", 0, "absolute threshold η (overrides -eta-frac)")
 		etaFrac      = flag.Float64("eta-frac", 0.05, "threshold as a fraction of n")
 		epsilon      = flag.Float64("epsilon", 0.5, "approximation parameter ε")
-		workers      = flag.Int("workers", 0, "parallel mRR workers inside TRIM rounds (ASTI policies only)")
+		workers      = flag.Int("workers", 0, "sampling-engine workers (0 = all cores, 1 = sequential; ASTI/ATEUC policies)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		realizations = flag.Int("realizations", 1, "number of realizations to average over")
 		trace        = flag.Bool("trace", false, "print the per-round trace of the first realization")
@@ -86,7 +86,7 @@ func run(dataset, graphPath string, scale float64, modelName, policyName string,
 
 	base := rng.New(seed)
 	if strings.EqualFold(policyName, "ATEUC") {
-		return runATEUC(g, model, eta, epsilon, base, realizations)
+		return runATEUC(g, model, eta, epsilon, workers, base, realizations)
 	}
 
 	policy, err := makePolicy(policyName, epsilon, workers)
@@ -129,7 +129,7 @@ func makePolicy(name string, epsilon float64, workers int) (adaptive.Policy, err
 		}
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: workers})
 	case lower == "adaptim":
-		return baselines.NewAdaptIM(epsilon, 0)
+		return baselines.NewAdaptIM(epsilon, 0, workers)
 	case lower == "mcgreedy":
 		return &baselines.MCGreedy{Samples: 500, Truncated: true}, nil
 	case lower == "celf":
@@ -155,8 +155,8 @@ func makePolicy(name string, epsilon float64, workers int) (adaptive.Policy, err
 
 // runATEUC handles the non-adaptive baseline: one selection, per-world
 // scoring.
-func runATEUC(g *graph.Graph, model diffusion.Model, eta int64, epsilon float64, base *rng.Source, realizations int) error {
-	a := &baselines.ATEUC{Epsilon: epsilon}
+func runATEUC(g *graph.Graph, model diffusion.Model, eta int64, epsilon float64, workers int, base *rng.Source, realizations int) error {
+	a := &baselines.ATEUC{Epsilon: epsilon, Workers: workers}
 	t0 := time.Now()
 	S, err := a.Select(g, model, eta, base.Split())
 	if err != nil {

@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		realizations = fs.Int("realizations", 0, "override the profile's realization count")
 		epsilon      = fs.Float64("epsilon", 0, "override the approximation parameter ε")
 		scale        = fs.Float64("scale", 0, "override every dataset's generation scale (0 = profile default)")
-		workers      = fs.Int("workers", 0, "parallel mRR workers inside TRIM rounds (0/1 = the paper's single-threaded protocol)")
+		workers      = fs.Int("workers", 0, "sampling-engine workers (0 = all cores, 1 = sequential; selections are identical either way)")
 		out          = fs.String("o", "", "write the report to a file instead of stdout")
 		quiet        = fs.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	)
@@ -69,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			p.Scales[name] = *scale
 		}
 	}
-	if *workers > 1 {
+	if *workers > 0 {
 		p.Workers = *workers
 	}
 

@@ -28,10 +28,10 @@ func NewDegreeDiscountPolicy(p float64) Policy { return &baselines.DegreeDiscoun
 // descending core number.
 func NewKCorePolicy() Policy { return &baselines.KCorePolicy{} }
 
-// NewASTIParallel returns the TRIM / TRIM-B policy with pool increments
-// of 256+ mRR sets generated across `workers` goroutines. Selections are
-// deterministic for any workers > 1 (per-set seeding); the stream differs
-// from the sequential NewASTI policies.
+// NewASTIParallel returns the TRIM / TRIM-B policy with an explicit
+// engine worker count; it is NewASTI/NewASTIBatch with
+// WithWorkers(workers). Selections are byte-identical for every worker
+// count (per-set seeding in the shared engine).
 func NewASTIParallel(epsilon float64, batch, workers int) (Policy, error) {
 	return trim.New(trim.Config{Epsilon: epsilon, Batch: batch, Truncated: true, Workers: workers})
 }
@@ -88,8 +88,9 @@ type IMMResult = imm.Result
 // a (1−1/e−ε)-approximate k-seed set with probability ≥ 1−1/n. Compare
 // MaximizeInfluence, which uses OPIM-C and certifies its ratio a
 // posteriori.
-func MaximizeInfluenceIMM(g *Graph, model Model, k int, epsilon float64, seed uint64) (*IMMResult, error) {
-	return imm.Select(g, model, k, imm.Options{Epsilon: epsilon}, rng.New(seed))
+func MaximizeInfluenceIMM(g *Graph, model Model, k int, epsilon float64, seed uint64, opts ...Option) (*IMMResult, error) {
+	o := applyOptions(opts)
+	return imm.Select(g, model, k, imm.Options{Epsilon: epsilon, Workers: o.workers}, rng.New(seed))
 }
 
 // EvaluatePolicyParallel is EvaluatePolicy with worlds evaluated across

@@ -1,0 +1,3 @@
+module asti
+
+go 1.22

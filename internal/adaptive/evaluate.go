@@ -57,6 +57,11 @@ func Evaluate(g *graph.Graph, model diffusion.Model, eta int64, factory PolicyFa
 		}
 		sum.Policy = policy.Name()
 		res, err := Run(g, model, eta, policy, φ, base.Split())
+		// Policies owning sampling machinery (e.g. TRIM's engine pool)
+		// release it promptly instead of waiting for GC.
+		if c, ok := policy.(interface{ Close() }); ok {
+			c.Close()
+		}
 		if err != nil {
 			return nil, err
 		}

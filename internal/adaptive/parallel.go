@@ -64,6 +64,11 @@ func EvaluateParallel(g *graph.Graph, model diffusion.Model, eta int64, factory 
 					continue
 				}
 				res, err := Run(g, model, eta, policy, φ, rng.New(polSeed))
+				// Policies owning sampling machinery (e.g. TRIM's engine
+				// pool) release it promptly instead of waiting for GC.
+				if c, ok := policy.(interface{ Close() }); ok {
+					c.Close()
+				}
 				if err != nil {
 					slots[w].err = err
 					continue

@@ -33,13 +33,15 @@ import (
 )
 
 // NewAdaptIM returns the AdaptIM baseline: the trim machinery with the
-// vanilla-spread objective and single-root RR-sets.
-func NewAdaptIM(epsilon float64, maxSetsPerRound int64) (*trim.Policy, error) {
+// vanilla-spread objective and single-root RR-sets. workers sizes the
+// sampling engine's pool (0 = GOMAXPROCS, 1 = sequential).
+func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int) (*trim.Policy, error) {
 	return trim.New(trim.Config{
 		Epsilon:         epsilon,
 		Batch:           1,
 		Truncated:       false,
 		MaxSetsPerRound: maxSetsPerRound,
+		Workers:         workers,
 	})
 }
 
@@ -51,6 +53,9 @@ type ATEUC struct {
 	Epsilon float64
 	// MaxSets caps the RR pool (0 = default cap of 2^20 sets).
 	MaxSets int64
+	// Workers sizes the sampling engine's worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). The selected seeds are identical for every setting.
+	Workers int
 	// Stats instrumentation.
 	Stats ATEUCStats
 }
@@ -86,7 +91,8 @@ func (a *ATEUC) Select(g *graph.Graph, model diffusion.Model, eta int64, r *rng.
 	for i := range inactive {
 		inactive[i] = int32(i)
 	}
-	sampler := rrset.NewSampler(g, model)
+	engine := rrset.NewEngine(g, model, a.Workers)
+	defer engine.Close()
 	coll := rrset.NewCollection(g)
 
 	// Failure budget and per-check confidence, OPIM-style.
@@ -105,9 +111,12 @@ func (a *ATEUC) Select(g *graph.Graph, model diffusion.Model, eta int64, r *rng.
 	}
 
 	for {
-		for int64(coll.Size()) < theta {
-			coll.Add(sampler.RR(inactive, nil, r, nil))
-			a.Stats.Sets++
+		if need := theta - int64(coll.Size()); need > 0 {
+			gs := engine.Generate(coll, rrset.Request{
+				Strategy: rrset.SingleRoot(), Inactive: inactive,
+				Count: int(need), Seed: r.Uint64(),
+			})
+			a.Stats.Sets += gs.Sets
 		}
 		su, sl, ok := a.attempt(g, coll, eta, a1, a2, int64(coll.Size()) >= cap64)
 		if ok && (len(su) <= 2*sl || int64(coll.Size()) >= cap64) {

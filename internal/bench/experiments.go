@@ -27,6 +27,7 @@ func Experiments() []string {
 		"ablation-rounding", "ablation-batch", "ablation-truncated",
 		"ablation-scaling", "ablation-adaptivity", "ablation-vaswani",
 		"ablation-weighting", "ablation-imsolvers",
+		"parallel-speedup",
 		"export-ic", "export-lt", "export-csv-ic", "export-csv-lt",
 	}
 }
@@ -138,6 +139,8 @@ func (r *Runner) Run(id string, w io.Writer) error {
 		return r.ablationTruncated(w)
 	case "ablation-scaling":
 		return r.ablationScaling(w)
+	case "parallel-speedup":
+		return r.parallelSpeedup(w)
 	case "export-ic", "export-lt":
 		model := diffusion.IC
 		if id == "export-lt" {
@@ -247,7 +250,7 @@ func (r *Runner) fig8(w io.Writer) error {
 	fmt.Fprintf(w, "# Figure 8 — spread per realization on %s, η=%d (solid line in the paper)\n", g.Name(), eta)
 	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
 		worlds := sampleWorlds(g, model, realizations, r.Profile.Seed^0xF18)
-		a := &baselines.ATEUC{Epsilon: r.Profile.Epsilon, MaxSets: r.Profile.MaxSetsPerRound}
+		a := &baselines.ATEUC{Epsilon: r.Profile.Epsilon, MaxSets: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers}
 		S, err := a.Select(g, model, eta, rng.New(r.Profile.Seed^0x8A))
 		if err != nil {
 			return err
@@ -258,8 +261,9 @@ func (r *Runner) fig8(w io.Writer) error {
 		var astiOver, ateucOver, ateucMiss int
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 			res, err := adaptive.Run(g, model, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
+			pol.Close()
 			if err != nil {
 				return err
 			}
@@ -401,8 +405,9 @@ func (r *Runner) ablationBatch(w io.Writer) error {
 		var sets, rounds int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: b, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)+uint64(b)<<8))
+			pol.Close()
 			if err != nil {
 				return err
 			}
@@ -446,7 +451,7 @@ func (r *Runner) ablationTruncated(w io.Writer) error {
 		var sets int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: truncated,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 			t0 := time.Now()
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			if err != nil {
@@ -456,6 +461,7 @@ func (r *Runner) ablationTruncated(w io.Writer) error {
 			seeds += float64(len(res.Seeds))
 			secs += res.Duration.Seconds()
 			sets += pol.Stats.Sets
+			pol.Close()
 		}
 		k := float64(len(worlds))
 		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%.3g\n", label, seeds/k, sets/int64(len(worlds)), secs/k)

@@ -139,7 +139,7 @@ func (r *Runner) heuristics(w io.Writer) error {
 	policies := []func() adaptive.Policy{
 		func() adaptive.Policy {
 			return trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 		},
 		func() adaptive.Policy { return &baselines.PageRankPolicy{} },
 		func() adaptive.Policy { return &baselines.DegreeDiscountPolicy{} },
@@ -157,6 +157,9 @@ func (r *Runner) heuristics(w io.Writer) error {
 			pol := factory()
 			name = pol.Name()
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)*31))
+			if c, ok := pol.(interface{ Close() }); ok {
+				c.Close()
+			}
 			if err != nil {
 				return fmt.Errorf("bench: heuristics %s: %w", name, err)
 			}
@@ -244,8 +247,9 @@ func (r *Runner) ablationVaswani(w io.Writer) error {
 	var sets int64
 	for i, φ := range worlds {
 		pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-			MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 		res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
+		pol.Close()
 		if err != nil {
 			return err
 		}
@@ -338,11 +342,11 @@ func (r *Runner) ablationIMSolvers(w io.Writer) error {
 	fmt.Fprintln(tw, "k\tOPIM-C spread\tOPIM-C sets\tIMM spread\tIMM sets\tagreement")
 	sim := estimatorSamples(r.Profile)
 	for _, k := range []int{1, 5, 10, 25} {
-		opim, err := im.Select(g, diffusion.IC, k, im.Options{Epsilon: r.Profile.Epsilon}, rng.New(r.Profile.Seed^0x10))
+		opim, err := im.Select(g, diffusion.IC, k, im.Options{Epsilon: r.Profile.Epsilon, Workers: r.Profile.Workers}, rng.New(r.Profile.Seed^0x10))
 		if err != nil {
 			return err
 		}
-		immRes, err := imm.Select(g, diffusion.IC, k, imm.Options{Epsilon: r.Profile.Epsilon}, rng.New(r.Profile.Seed^0x11))
+		immRes, err := imm.Select(g, diffusion.IC, k, imm.Options{Epsilon: r.Profile.Epsilon, Workers: r.Profile.Workers}, rng.New(r.Profile.Seed^0x11))
 		if err != nil {
 			return err
 		}
@@ -409,7 +413,7 @@ func (r *Runner) ablationWeighting(w io.Writer) error {
 		var sets int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			if err != nil {
 				return fmt.Errorf("bench: weighting %s: %w", scheme, err)
@@ -418,6 +422,7 @@ func (r *Runner) ablationWeighting(w io.Writer) error {
 			spread += float64(res.Spread)
 			secs += res.Duration.Seconds()
 			sets += pol.Stats.Sets
+			pol.Close()
 		}
 		k := float64(len(worlds))
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.0f\t%d\t%.3g\n",

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+	"asti/internal/trim"
+)
+
+// parallelSpeedup compares the sequential (Workers=1) and parallel
+// (Workers=GOMAXPROCS) paths of the shared sampling engine on a
+// registered synthetic dataset: same worlds, same seeds. Because the
+// engine seeds every set independently of the worker count, the two runs
+// must select byte-identical seed sequences — the experiment verifies
+// that, then reports the wall-clock speedup. On a machine with ≥ 4 cores
+// the parallel path is expected to run at least ~2× faster; on fewer
+// cores the ratio approaches 1.
+func (r *Runner) parallelSpeedup(w io.Writer) error {
+	cores := runtime.GOMAXPROCS(0)
+	spec, err := gen.Dataset("synth-nethept")
+	if err != nil {
+		return err
+	}
+	g, err := spec.Generate(r.Profile.scaleFor(spec.Name))
+	if err != nil {
+		return err
+	}
+	eta := etaFor(g, 0.1)
+	worlds := sampleWorlds(g, diffusion.IC, r.Profile.Realizations, r.Profile.Seed^0x9A11)
+	fmt.Fprintf(w, "# Parallel speedup — sequential vs %d-worker sampling engine on %s, IC, η=%d (%d realizations)\n",
+		cores, g.Name(), eta, len(worlds))
+
+	run := func(workers int) (secs float64, seeds [][]int32, err error) {
+		for i, φ := range worlds {
+			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: workers})
+			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
+			pol.Close()
+			if err != nil {
+				return 0, nil, err
+			}
+			secs += res.Duration.Seconds()
+			seeds = append(seeds, res.Seeds)
+		}
+		return secs, seeds, nil
+	}
+
+	seqSecs, seqSeeds, err := run(1)
+	if err != nil {
+		return err
+	}
+	parSecs, parSeeds, err := run(cores)
+	if err != nil {
+		return err
+	}
+
+	identical := true
+	for i := range seqSeeds {
+		if len(seqSeeds[i]) != len(parSeeds[i]) {
+			identical = false
+			break
+		}
+		for j := range seqSeeds[i] {
+			if seqSeeds[i][j] != parSeeds[i][j] {
+				identical = false
+				break
+			}
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "path\tworkers\tselection seconds")
+	fmt.Fprintf(tw, "sequential\t1\t%.3g\n", seqSecs)
+	fmt.Fprintf(tw, "parallel\t%d\t%.3g\n", cores, parSecs)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	speedup := 0.0
+	if parSecs > 0 {
+		speedup = seqSecs / parSecs
+	}
+	fmt.Fprintf(w, "speedup %.2f× on %d core(s); seed selections identical across worker counts: %v\n",
+		speedup, cores, identical)
+	if !identical {
+		return fmt.Errorf("bench: parallel and sequential paths selected different seeds")
+	}
+	return nil
+}

@@ -48,9 +48,10 @@ type Profile struct {
 	Batches []int
 	// MaxSetsPerRound bounds worst-case memory per TRIM round (0 = none).
 	MaxSetsPerRound int64
-	// Workers > 1 turns on parallel mRR generation inside TRIM rounds
-	// (trim.Config.Workers). 0 or 1 keeps the paper's single-threaded
-	// protocol, whose streams the recorded experiment outputs pin.
+	// Workers sizes the sampling engine's worker pool inside TRIM rounds
+	// (trim.Config.Workers): 0 = GOMAXPROCS (the default — experiments
+	// exercise the parallel path out of the box), 1 = sequential. Seed
+	// selections are identical for every setting.
 	Workers int
 	// Seed fixes all harness randomness.
 	Seed uint64

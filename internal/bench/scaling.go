@@ -34,10 +34,12 @@ func (r *Runner) ablationScaling(w io.Writer) error {
 		}
 		eta := etaFor(g, 0.05)
 		pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-			MaxSetsPerRound: r.Profile.MaxSetsPerRound})
+			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
 		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed))
 		t0 := time.Now()
-		if _, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+1)); err != nil {
+		_, err = adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+1))
+		pol.Close()
+		if err != nil {
 			return err
 		}
 		secs := time.Since(t0).Seconds()

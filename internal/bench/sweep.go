@@ -183,6 +183,7 @@ func runCell(p Profile, g *graph.Graph, model diffusion.Model, col policySpec, f
 		cell.Spreads = append(cell.Spreads, float64(res.Spread))
 		cell.Seconds = append(cell.Seconds, res.Duration.Seconds())
 		cell.SetsGenerated += pol.Stats.Sets
+		pol.Close()
 		if i == 0 {
 			for _, tr := range res.Rounds {
 				cell.TraceMarginals = append(cell.TraceMarginals, tr.Marginal)
@@ -195,7 +196,7 @@ func runCell(p Profile, g *graph.Graph, model diffusion.Model, col policySpec, f
 // runATEUCCell selects the non-adaptive set once (selection does not
 // depend on the realization) and scores it on every world.
 func runATEUCCell(p Profile, g *graph.Graph, model diffusion.Model, cell *Cell, eta int64, worlds []*diffusion.Realization) (*Cell, error) {
-	a := &baselines.ATEUC{Epsilon: p.Epsilon, MaxSets: p.MaxSetsPerRound}
+	a := &baselines.ATEUC{Epsilon: p.Epsilon, MaxSets: p.MaxSetsPerRound, Workers: p.Workers}
 	t0 := time.Now()
 	S, err := a.Select(g, model, eta, rng.New(p.Seed^0xA7E0C))
 	if err != nil {

@@ -47,6 +47,9 @@ type Options struct {
 	Epsilon float64
 	// MaxSets caps each pool (0 = 2^20).
 	MaxSets int64
+	// Workers sizes the sampling engine's worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). The selected seeds are identical for every setting.
+	Workers int
 }
 
 // Select runs OPIM-C: it returns a seed set of size k whose expected
@@ -72,7 +75,8 @@ func Select(g *graph.Graph, model diffusion.Model, k int, opts Options, r *rng.S
 	for i := range inactive {
 		inactive[i] = int32(i)
 	}
-	sampler := rrset.NewSampler(g, model)
+	engine := rrset.NewEngine(g, model, opts.Workers)
+	defer engine.Close()
 	r1 := rrset.NewCollection(g) // selection pool
 	r2 := rrset.NewCollection(g) // validation pool
 
@@ -92,10 +96,18 @@ func Select(g *graph.Graph, model diffusion.Model, k int, opts Options, r *rng.S
 		theta = cap64
 	}
 	for {
-		for int64(r1.Size()) < theta {
-			r1.Add(sampler.RR(inactive, nil, r, nil))
-			r2.Add(sampler.RR(inactive, nil, r, nil))
-			res.Sets += 2
+		if need := theta - int64(r1.Size()); need > 0 {
+			// Both pools grow through the shared engine; each batch draws
+			// one seed from the caller's stream and fans out per set.
+			gs1 := engine.Generate(r1, rrset.Request{
+				Strategy: rrset.SingleRoot(), Inactive: inactive,
+				Count: int(need), Seed: r.Uint64(),
+			})
+			gs2 := engine.Generate(r2, rrset.Request{
+				Strategy: rrset.SingleRoot(), Inactive: inactive,
+				Count: int(need), Seed: r.Uint64(),
+			})
+			res.Sets += gs1.Sets + gs2.Sets
 		}
 		// Greedy on the selection pool; bound OPT from its coverage.
 		seeds, covered1 := r1.GreedyMaxCoverage(k, nil)

@@ -35,6 +35,9 @@ type Options struct {
 	Epsilon float64
 	// MaxSets caps the RR pool as a safety valve (0 = 2^21).
 	MaxSets int64
+	// Workers sizes the sampling engine's worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). The selected seeds are identical for every setting.
+	Workers int
 }
 
 // Result reports the selected seeds and instrumentation.
@@ -78,9 +81,20 @@ func Select(g *graph.Graph, model diffusion.Model, k int, opts Options, r *rng.S
 	for i := range inactive {
 		inactive[i] = int32(i)
 	}
-	sampler := rrset.NewSampler(g, model)
+	engine := rrset.NewEngine(g, model, opts.Workers)
+	defer engine.Close()
 	coll := rrset.NewCollection(g)
 	res := &Result{}
+	// grow extends the pool to the target size through the shared engine.
+	grow := func(target int64) {
+		if need := target - int64(coll.Size()); need > 0 {
+			gs := engine.Generate(coll, rrset.Request{
+				Strategy: rrset.SingleRoot(), Inactive: inactive,
+				Count: int(need), Seed: r.Uint64(),
+			})
+			res.Sets += gs.Sets
+		}
+	}
 
 	nf := float64(n)
 	eps := opts.Epsilon
@@ -101,10 +115,7 @@ func Select(g *graph.Graph, model diffusion.Model, k int, opts Options, r *rng.S
 		if thetaI > cap64 {
 			thetaI = cap64
 		}
-		for int64(coll.Size()) < thetaI {
-			coll.Add(sampler.RR(inactive, nil, r, nil))
-			res.Sets++
-		}
+		grow(thetaI)
 		seeds, covered := coll.GreedyMaxCoverage(k, nil)
 		frac := float64(covered) / float64(coll.Size())
 		if nf*frac >= (1+epsP)*x {
@@ -129,10 +140,7 @@ func Select(g *graph.Graph, model diffusion.Model, k int, opts Options, r *rng.S
 	if theta < 64 {
 		theta = 64
 	}
-	for int64(coll.Size()) < theta {
-		coll.Add(sampler.RR(inactive, nil, r, nil))
-		res.Sets++
-	}
+	grow(theta)
 	res.Theta = int64(coll.Size())
 
 	seeds, covered := coll.GreedyMaxCoverage(k, nil)

@@ -6,35 +6,71 @@ import "asti/internal/graph"
 // counts Λ_R(v) — the number of stored sets containing v — plus an
 // inverted index (node → set ids) for greedy max-coverage. It backs both
 // TRIM (argmax over Λ) and TRIM-B / ATEUC (greedy coverage).
+//
+// Storage is flat: stored sets are concatenated into one CSR-style
+// (data, offsets) pair, so Add copies the set instead of taking ownership
+// and the caller's buffer is always reusable. The inverted index is a
+// second CSR pair built lazily — once per doubling round rather than
+// appended to per set — and every per-node counter touched since the last
+// Reset is remembered in a touched list, making Reset O(touched) instead
+// of O(n). One Collection therefore serves every round of an adaptive run
+// without reallocating.
 type Collection struct {
 	n     int32
-	count int // sets accounted for (stored or counts-only)
-	sets  [][]int32
-	cov   []int64   // Λ_R(v)
-	index [][]int32 // node -> ids of sets containing it
-	nodes int64     // Σ|R| over all accounted sets
+	count int   // sets accounted for (stored or counts-only)
+	nodes int64 // Σ|R| over all accounted sets
+
+	cov     []int64 // Λ_R(v)
+	touched []int32 // nodes v with cov[v] > 0, for O(touched) reset
+
+	// Stored sets, concatenated (set id -> setData[setOff[id]:setOff[id+1]]).
+	setOff  []int64
+	setData []int32
+
+	// Lazy CSR inverted index over the stored sets: node v's set ids are
+	// idxSets[idxOff[v]:idxOff[v+1]]. Valid while idxBuilt == stored count;
+	// -1 marks it never built (or invalidated by Reset).
+	idxOff   []int64
+	idxSets  []int32
+	idxBuilt int
+
+	// Epoch-stamped per-set marks: marks[id] == markEpoch means "id seen in
+	// the current walk". Bumping the epoch clears all marks in O(1).
+	marks     []int64
+	markEpoch int64
+
+	// marg is the all-zero per-node scratch for greedy marginal coverage;
+	// callers restore the zeros through the touched list.
+	marg []int64
 }
 
 // NewCollection returns an empty Collection over graphs with n nodes.
 func NewCollection(g *graph.Graph) *Collection {
 	return &Collection{
-		n:     g.N(),
-		cov:   make([]int64, g.N()),
-		index: make([][]int32, g.N()),
+		n:        g.N(),
+		cov:      make([]int64, g.N()),
+		setOff:   make([]int64, 1, 16),
+		idxBuilt: -1,
 	}
 }
 
-// Add stores one set (taking ownership of the slice) and updates coverage.
-// Mixing Add and AddCountsOnly in one Collection is not supported: greedy
-// coverage would silently ignore the counts-only sets.
+// stored returns the number of stored (not counts-only) sets.
+func (c *Collection) stored() int { return len(c.setOff) - 1 }
+
+// Add stores a copy of one set and updates coverage. The caller keeps
+// ownership of the slice and may reuse it. Mixing Add and AddCountsOnly in
+// one Collection is not supported: greedy coverage would silently ignore
+// the counts-only sets.
 func (c *Collection) Add(set []int32) {
-	id := int32(len(c.sets))
-	c.sets = append(c.sets, set)
+	c.setData = append(c.setData, set...)
+	c.setOff = append(c.setOff, int64(len(c.setData)))
 	c.count++
 	c.nodes += int64(len(set))
 	for _, v := range set {
+		if c.cov[v] == 0 {
+			c.touched = append(c.touched, v)
+		}
 		c.cov[v]++
-		c.index[v] = append(c.index[v], id)
 	}
 }
 
@@ -46,6 +82,9 @@ func (c *Collection) AddCountsOnly(set []int32) {
 	c.count++
 	c.nodes += int64(len(set))
 	for _, v := range set {
+		if c.cov[v] == 0 {
+			c.touched = append(c.touched, v)
+		}
 		c.cov[v]++
 	}
 }
@@ -60,10 +99,66 @@ func (c *Collection) TotalNodes() int64 { return c.nodes }
 func (c *Collection) Coverage(v int32) int64 { return c.cov[v] }
 
 // Set returns the id-th stored set (read-only).
-func (c *Collection) Set(id int32) []int32 { return c.sets[id] }
+func (c *Collection) Set(id int32) []int32 {
+	return c.setData[c.setOff[id]:c.setOff[id+1]]
+}
 
-// IndexOf returns the ids of the stored sets containing v (read-only).
-func (c *Collection) IndexOf(v int32) []int32 { return c.index[v] }
+// IndexOf returns the ids of the stored sets containing v (read-only; the
+// slice is invalidated by the next Add or Reset).
+func (c *Collection) IndexOf(v int32) []int32 {
+	c.buildIndex()
+	return c.idxSets[c.idxOff[v]:c.idxOff[v+1]]
+}
+
+// buildIndex (re)builds the CSR inverted index over the stored sets. It
+// runs once per doubling round — consumers query only after a batch of
+// Adds — so the flat two-pass build replaces per-set slice appends on
+// every node.
+func (c *Collection) buildIndex() {
+	if c.idxBuilt == c.stored() {
+		return
+	}
+	if cap(c.idxOff) < int(c.n)+1 {
+		c.idxOff = make([]int64, c.n+1)
+	}
+	c.idxOff = c.idxOff[:c.n+1]
+	for i := range c.idxOff {
+		c.idxOff[i] = 0
+	}
+	// Pass 1: counts shifted by one so pass 2 can bump in place.
+	for _, v := range c.setData {
+		c.idxOff[v+1]++
+	}
+	for v := int32(0); v < c.n; v++ {
+		c.idxOff[v+1] += c.idxOff[v]
+	}
+	if cap(c.idxSets) < len(c.setData) {
+		c.idxSets = make([]int32, len(c.setData))
+	}
+	c.idxSets = c.idxSets[:len(c.setData)]
+	for id := 0; id < c.stored(); id++ {
+		for _, v := range c.setData[c.setOff[id]:c.setOff[id+1]] {
+			c.idxSets[c.idxOff[v]] = int32(id)
+			c.idxOff[v]++
+		}
+	}
+	// Shift the bumped offsets back down.
+	for v := c.n; v > 0; v-- {
+		c.idxOff[v] = c.idxOff[v-1]
+	}
+	c.idxOff[0] = 0
+	c.idxBuilt = c.stored()
+}
+
+// nextEpoch returns a fresh mark epoch, growing the per-set mark array to
+// the current stored count.
+func (c *Collection) nextEpoch() int64 {
+	if len(c.marks) < c.stored() {
+		c.marks = append(c.marks, make([]int64, c.stored()-len(c.marks))...)
+	}
+	c.markEpoch++
+	return c.markEpoch
+}
 
 // ArgmaxCoverage returns the node with maximum Λ_R(v) restricted to the
 // candidate list (nil = all nodes), and its coverage. Ties break toward
@@ -90,7 +185,8 @@ func (c *Collection) ArgmaxCoverage(candidates []int32) (best int32, cov int64) 
 // set coverage (the classic (1-(1-1/b)^b)-approximate max-coverage greedy
 // the paper uses in TRIM-B, Line 8). It returns the selected nodes and the
 // number of sets they jointly cover. Coverage state in the Collection is
-// not modified; the walk uses temporary marks.
+// not modified; the walk uses reusable scratch (epoch marks for covered
+// sets, a zero-restored marginal array), so repeated calls do not allocate.
 //
 // candidates restricts selection (nil = all nodes). Selection stops early
 // if every remaining set is covered.
@@ -98,9 +194,20 @@ func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32
 	if b <= 0 {
 		return nil, 0
 	}
-	marg := make([]int64, c.n)
-	copy(marg, c.cov)
-	coveredSet := make([]bool, len(c.sets))
+	c.buildIndex()
+	epoch := c.nextEpoch()
+	if len(c.marg) < int(c.n) {
+		c.marg = make([]int64, c.n)
+	}
+	marg := c.marg
+	for _, v := range c.touched {
+		marg[v] = c.cov[v]
+	}
+	defer func() {
+		for _, v := range c.touched {
+			marg[v] = 0
+		}
+	}()
 	for len(seeds) < b {
 		var best int32 = -1
 		var bestCov int64
@@ -124,12 +231,12 @@ func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32
 		covered += bestCov
 		// Retire every set newly covered by best and decrement the marginal
 		// coverage of its members.
-		for _, id := range c.index[best] {
-			if coveredSet[id] {
+		for _, id := range c.IndexOf(best) {
+			if c.marks[id] == epoch {
 				continue
 			}
-			coveredSet[id] = true
-			for _, w := range c.sets[id] {
+			c.marks[id] = epoch
+			for _, w := range c.Set(id) {
 				marg[w]--
 			}
 		}
@@ -138,25 +245,34 @@ func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32
 }
 
 // CoverageOf returns the number of stored sets intersecting the node set S.
+// It reuses the epoch-stamped per-set marks, so it allocates nothing after
+// the marks have grown to the pool size.
 func (c *Collection) CoverageOf(S []int32) int64 {
-	seen := make(map[int32]struct{}, 64)
+	c.buildIndex()
+	epoch := c.nextEpoch()
+	var seen int64
 	for _, v := range S {
-		for _, id := range c.index[v] {
-			seen[id] = struct{}{}
+		for _, id := range c.IndexOf(v) {
+			if c.marks[id] != epoch {
+				c.marks[id] = epoch
+				seen++
+			}
 		}
 	}
-	return int64(len(seen))
+	return seen
 }
 
-// Reset drops all stored sets but keeps allocated capacity where possible.
+// Reset drops all sets in O(touched) — only the coverage counters that
+// were actually incremented since the last Reset are zeroed — and keeps
+// every allocated buffer for reuse by the next round.
 func (c *Collection) Reset() {
-	c.sets = c.sets[:0]
+	for _, v := range c.touched {
+		c.cov[v] = 0
+	}
+	c.touched = c.touched[:0]
+	c.setOff = c.setOff[:1]
+	c.setData = c.setData[:0]
+	c.idxBuilt = -1
 	c.count = 0
 	c.nodes = 0
-	for i := range c.cov {
-		c.cov[i] = 0
-	}
-	for i := range c.index {
-		c.index[i] = c.index[i][:0]
-	}
 }

@@ -1,0 +1,321 @@
+package rrset
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// Rounding selects how a multi-root strategy derives the root-set size k
+// from n_i/η_i. The paper's randomized rounding (§3.3) is the default; the
+// fixed variants exist for the ablation that motivates it (Remark after
+// Corollary 3.4).
+type Rounding int
+
+const (
+	// RoundRandomized draws k = ⌊n_i/η_i⌋+1 with probability equal to the
+	// fractional part, else ⌊n_i/η_i⌋ (E[k] = n_i/η_i exactly).
+	RoundRandomized Rounding = iota
+	// RoundFloor always uses k = ⌊n_i/η_i⌋.
+	RoundFloor
+	// RoundCeil always uses k = ⌊n_i/η_i⌋ + 1.
+	RoundCeil
+)
+
+// RootStrategy selects how each sampled set draws its roots: a classic
+// single-root RR-set, or the paper's multi-root mRR-set with one of the
+// three root-size rounding modes.
+type RootStrategy struct {
+	multi    bool
+	rounding Rounding
+}
+
+// SingleRoot is the classic RR-set strategy (one uniform root).
+func SingleRoot() RootStrategy { return RootStrategy{} }
+
+// MultiRoot is the paper's mRR strategy with the given rounding of
+// n_i/η_i.
+func MultiRoot(r Rounding) RootStrategy { return RootStrategy{multi: true, rounding: r} }
+
+// Multi reports whether the strategy samples multi-root sets.
+func (s RootStrategy) Multi() bool { return s.multi }
+
+// rootSize applies the strategy's rounding of ni/etai (multi-root only).
+func (s RootStrategy) rootSize(ni, etai int64, r *rng.Source) int {
+	switch s.rounding {
+	case RoundFloor:
+		k := ni / etai
+		if k < 1 {
+			k = 1
+		}
+		return int(k)
+	case RoundCeil:
+		k := ni/etai + 1
+		if k > ni {
+			k = ni
+		}
+		return int(k)
+	default:
+		return RootSize(ni, etai, r)
+	}
+}
+
+// Request describes one generation batch: how many sets to add, drawn with
+// which root strategy over which residual view, under which batch seed.
+type Request struct {
+	// Strategy picks single-root RR vs multi-root mRR sampling.
+	Strategy RootStrategy
+	// Inactive lists the residual nodes roots are drawn from (for the full
+	// graph pass all node ids).
+	Inactive []int32
+	// Active masks removed nodes (nil = none). It is read concurrently by
+	// the workers and must not be mutated during Generate.
+	Active *bitset.Set
+	// EtaI is the remaining shortfall η_i; used only by multi-root
+	// strategies to size the root set.
+	EtaI int64
+	// Count is the number of sets to generate.
+	Count int
+	// Seed is the batch seed: set i of the batch derives its private
+	// generator as SplitMix64(Seed+i), making the output byte-identical for
+	// every worker count (including 1).
+	Seed uint64
+	// CountsOnly updates only the coverage counts Λ_R(v) in the target
+	// Collection without storing the sets.
+	CountsOnly bool
+}
+
+// GenStats reports instrumentation for one Generate call.
+type GenStats struct {
+	// Sets is the number of sets generated (== Request.Count).
+	Sets int64
+	// SetNodes is Σ|R| over the generated sets.
+	SetNodes int64
+	// EdgesExamined counts in-edges inspected during the reverse BFSes (the
+	// cost model behind Lemma 3.8).
+	EdgesExamined int64
+}
+
+// minParallelSets is the batch size below which the worker pool is not
+// worth the handoff overhead and Generate runs inline. Both paths use the
+// same per-set seeding, so the dispatch decision never changes output.
+const minParallelSets = 256
+
+// minTaskGrain is the smallest number of sets handed to a pool worker at
+// once.
+const minTaskGrain = 64
+
+// Engine is the shared concurrent mRR/RR sampling engine: one persistent
+// worker pool with per-worker Sampler scratch that every consumer (TRIM,
+// OPIM-C, IMM, ATEUC) drives through Generate. Set i of a batch seeds its
+// private generator as SplitMix64(batchSeed+i), so the stream of generated
+// sets is identical for any worker count — parallelism is purely a speed
+// knob, never a semantics knob.
+//
+// An Engine is not safe for concurrent use: one goroutine calls Generate
+// at a time (the workers underneath are the engine's own). Close releases
+// the pool; engines dropped without Close are cleaned up by a finalizer.
+type Engine struct {
+	g       *graph.Graph
+	model   diffusion.Model
+	workers int
+
+	inline *workerState // scratch for the sequential path
+	states []*workerState
+	tasks  chan genTask
+	closed bool
+}
+
+// workerState is one worker's private scratch: a Sampler plus reusable
+// output arenas. It deliberately holds no Engine pointer so the pool
+// goroutines never keep an abandoned Engine alive.
+type workerState struct {
+	sampler *Sampler
+	out     []int32 // concatenated sets of the current batch
+	lens    []int32 // per-set lengths of the current batch
+}
+
+// genTask asks a pool worker for sets [lo, hi) of a batch.
+type genTask struct {
+	idx      int
+	lo, hi   int
+	seed     uint64
+	strat    RootStrategy
+	inactive []int32
+	active   *bitset.Set
+	etai     int64
+	results  chan<- taskResult
+	edges    *atomic.Int64
+}
+
+// taskResult hands a task's arena segment back to Generate. The slices
+// point into the worker's arena and stay valid until the next Generate
+// call resets it.
+type taskResult struct {
+	idx  int
+	data []int32
+	lens []int32
+}
+
+// NewEngine returns an Engine for g under the given model. workers <= 0
+// selects GOMAXPROCS; workers == 1 keeps everything on the calling
+// goroutine. Output is identical for every setting.
+func NewEngine(g *graph.Graph, model diffusion.Model, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		g:       g,
+		model:   model,
+		workers: workers,
+		inline:  &workerState{sampler: NewSampler(g, model)},
+	}
+}
+
+// Graph returns the graph the engine samples over.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Model returns the engine's diffusion model.
+func (e *Engine) Model() diffusion.Model { return e.model }
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts down the worker pool. Generate must not be called after
+// Close. Close is idempotent but not safe to race with Generate.
+func (e *Engine) Close() {
+	if e.tasks != nil && !e.closed {
+		close(e.tasks)
+		runtime.SetFinalizer(e, nil)
+	}
+	e.closed = true
+}
+
+// start lazily spins up the persistent pool.
+func (e *Engine) start() {
+	if e.tasks != nil {
+		return
+	}
+	e.tasks = make(chan genTask, e.workers*4)
+	e.states = make([]*workerState, e.workers)
+	for w := range e.states {
+		ws := &workerState{sampler: NewSampler(e.g, e.model)}
+		e.states[w] = ws
+		go poolWorker(e.tasks, ws)
+	}
+	// Safety net for engines dropped without Close: release the goroutines
+	// when the Engine becomes unreachable (the workers reference only the
+	// channel and their own state, never the Engine).
+	runtime.SetFinalizer(e, (*Engine).Close)
+}
+
+// poolWorker serves generation tasks until the task channel closes.
+func poolWorker(tasks <-chan genTask, ws *workerState) {
+	var src rng.Source
+	for t := range tasks {
+		dataStart, lensStart := len(ws.out), len(ws.lens)
+		edges0 := ws.sampler.EdgesExamined
+		for i := t.lo; i < t.hi; i++ {
+			src.Seed(rng.SplitMix64(t.seed + uint64(i)))
+			setStart := len(ws.out)
+			ws.out = generateOne(ws.sampler, t.strat, t.inactive, t.active, t.etai, &src, ws.out)
+			ws.lens = append(ws.lens, int32(len(ws.out)-setStart))
+		}
+		t.edges.Add(ws.sampler.EdgesExamined - edges0)
+		t.results <- taskResult{idx: t.idx, data: ws.out[dataStart:], lens: ws.lens[lensStart:]}
+	}
+}
+
+// generateOne samples one set under the strategy into dst.
+func generateOne(s *Sampler, strat RootStrategy, inactive []int32, active *bitset.Set, etai int64, r *rng.Source, dst []int32) []int32 {
+	if strat.multi {
+		k := strat.rootSize(int64(len(inactive)), etai, r)
+		return s.MRR(k, inactive, active, r, dst)
+	}
+	return s.RR(inactive, active, r, dst)
+}
+
+// Generate adds req.Count sets to coll and returns the batch's
+// instrumentation. This is the single sampling loop of the codebase: every
+// consumer's pool growth routes through here. The per-set seeding makes
+// the added sets — and therefore every downstream selection — identical
+// for any worker count.
+func (e *Engine) Generate(coll *Collection, req Request) GenStats {
+	need := req.Count
+	if need <= 0 {
+		return GenStats{}
+	}
+	stats := GenStats{Sets: int64(need)}
+	if e.workers == 1 || need < minParallelSets {
+		ws := e.inline
+		edges0 := ws.sampler.EdgesExamined
+		var src rng.Source
+		for i := 0; i < need; i++ {
+			src.Seed(rng.SplitMix64(req.Seed + uint64(i)))
+			set := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
+			ws.out = set // keep the grown buffer; Add copies
+			if req.CountsOnly {
+				coll.AddCountsOnly(set)
+			} else {
+				coll.Add(set)
+			}
+			stats.SetNodes += int64(len(set))
+		}
+		stats.EdgesExamined = ws.sampler.EdgesExamined - edges0
+		return stats
+	}
+
+	e.start()
+	// No tasks are in flight between Generate calls, so the arenas the
+	// previous batch handed out can be reclaimed here.
+	for _, ws := range e.states {
+		ws.out = ws.out[:0]
+		ws.lens = ws.lens[:0]
+	}
+	grain := (need + e.workers*4 - 1) / (e.workers * 4)
+	if grain < minTaskGrain {
+		grain = minTaskGrain
+	}
+	numTasks := (need + grain - 1) / grain
+	results := make(chan taskResult, numTasks)
+	var edges atomic.Int64
+	for ti := 0; ti < numTasks; ti++ {
+		lo := ti * grain
+		hi := lo + grain
+		if hi > need {
+			hi = need
+		}
+		e.tasks <- genTask{
+			idx: ti, lo: lo, hi: hi,
+			seed: req.Seed, strat: req.Strategy,
+			inactive: req.Inactive, active: req.Active, etai: req.EtaI,
+			results: results, edges: &edges,
+		}
+	}
+	ordered := make([]taskResult, numTasks)
+	for i := 0; i < numTasks; i++ {
+		tr := <-results
+		ordered[tr.idx] = tr
+	}
+	// Commit in set-index order so the Collection's stored-set ids are
+	// scheduling-independent.
+	for _, tr := range ordered {
+		var off int32
+		for _, l := range tr.lens {
+			set := tr.data[off : off+l]
+			off += l
+			if req.CountsOnly {
+				coll.AddCountsOnly(set)
+			} else {
+				coll.Add(set)
+			}
+			stats.SetNodes += int64(len(set))
+		}
+	}
+	stats.EdgesExamined = edges.Load()
+	return stats
+}

@@ -9,6 +9,8 @@ import (
 	"asti/internal/rng"
 )
 
+// TestParallelWorkersAgree asserts the engine's determinism contract at
+// the policy level: identical seed selections for Workers ∈ {2, 4, 8}.
 func TestParallelWorkersAgree(t *testing.T) {
 	g, err := gen.Dataset("synth-nethept")
 	if err != nil {
@@ -32,22 +34,24 @@ func TestParallelWorkersAgree(t *testing.T) {
 		}
 		return res.Seeds
 	}
-	two := runWith(2)
-	eight := runWith(8)
-	if len(two) != len(eight) {
-		t.Fatalf("worker counts disagree: %d seeds (w=2) vs %d (w=8)", len(two), len(eight))
-	}
-	for i := range two {
-		if two[i] != eight[i] {
-			t.Fatalf("seed %d differs: %d (w=2) vs %d (w=8)", i, two[i], eight[i])
+	ref := runWith(2)
+	for _, workers := range []int{4, 8} {
+		got := runWith(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("worker counts disagree: %d seeds (w=2) vs %d (w=%d)", len(ref), len(got), workers)
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("seed %d differs: %d (w=2) vs %d (w=%d)", i, ref[i], got[i], workers)
+			}
 		}
 	}
 }
 
-func TestParallelQualityMatchesSequential(t *testing.T) {
-	// Parallel and sequential streams differ, but both must deliver the
-	// certified quality: seed counts within a small factor on the same
-	// world.
+// TestParallelMatchesSequential asserts the stronger engine guarantee:
+// the sequential path (Workers=1) selects exactly the same seeds as the
+// parallel path — parallelism is a speed knob, not a semantics knob.
+func TestParallelMatchesSequential(t *testing.T) {
 	g, err := gen.Dataset("synth-nethept")
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +63,7 @@ func TestParallelQualityMatchesSequential(t *testing.T) {
 	eta := int64(float64(gg.N()) * 0.1)
 	world := diffusion.SampleRealization(gg, diffusion.IC, rng.New(9))
 
-	seq := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	seq := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true, Workers: 1})
 	resSeq, err := adaptive.Run(gg, diffusion.IC, eta, seq, world, rng.New(10))
 	if err != nil {
 		t.Fatal(err)
@@ -69,15 +73,24 @@ func TestParallelQualityMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, b := len(resSeq.Seeds), len(resPar.Seeds)
-	if a > 2*b+2 || b > 2*a+2 {
-		t.Fatalf("parallel quality diverges: %d seeds sequential vs %d parallel", a, b)
+	if len(resSeq.Seeds) != len(resPar.Seeds) {
+		t.Fatalf("seed counts differ: %d sequential vs %d parallel", len(resSeq.Seeds), len(resPar.Seeds))
+	}
+	for i := range resSeq.Seeds {
+		if resSeq.Seeds[i] != resPar.Seeds[i] {
+			t.Fatalf("seed %d differs: %d sequential vs %d parallel", i, resSeq.Seeds[i], resPar.Seeds[i])
+		}
+	}
+	if seq.Stats.Sets != par.Stats.Sets || seq.Stats.EdgesExamined != par.Stats.EdgesExamined {
+		t.Fatalf("instrumentation differs: %+v vs %+v", seq.Stats, par.Stats)
 	}
 	if par.Stats.Sets == 0 {
 		t.Fatal("parallel policy generated no sets")
 	}
 }
 
+// TestParallelBatchedMode exercises the pool with TRIM-B's stored-set
+// (greedy max-coverage) path.
 func TestParallelBatchedMode(t *testing.T) {
 	g, err := gen.ErdosRenyi("er", 400, 5, true, 3)
 	if err != nil {
@@ -92,5 +105,26 @@ func TestParallelBatchedMode(t *testing.T) {
 	}
 	if res.Spread < 80 {
 		t.Fatalf("spread %d < 80", res.Spread)
+	}
+}
+
+// TestDefaultWorkersParallel verifies Workers=0 resolves to GOMAXPROCS in
+// the policy's engine (the parallel-by-default plumbing).
+func TestDefaultWorkersParallel(t *testing.T) {
+	g, err := gen.ErdosRenyi("er-def", 300, 4, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ApplyWeightedCascade()
+	world := diffusion.SampleRealization(g, diffusion.IC, rng.New(21))
+	pol := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true})
+	if _, err := adaptive.Run(g, diffusion.IC, 60, pol, world, rng.New(22)); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Engine() == nil {
+		t.Fatal("policy never created an engine")
+	}
+	if pol.Engine().Workers() < 1 {
+		t.Fatalf("engine workers = %d", pol.Engine().Workers())
 	}
 }

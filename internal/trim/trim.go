@@ -15,6 +15,10 @@
 // to false. Keeping every other knob identical is what isolates the
 // paper's claimed mechanism — truncation shrinks the required sample size
 // from ∝ n_i/OPT′_i to ∝ η_i/OPT_i.
+//
+// All sampling routes through the shared rrset.Engine: one persistent
+// worker pool with deterministic per-set seeding, so the selected seeds
+// are identical for every Workers setting.
 package trim
 
 import (
@@ -27,20 +31,18 @@ import (
 	"asti/internal/stats"
 )
 
-// Rounding selects how the mRR root-set size k is derived from n_i/η_i.
-// The paper's randomized rounding (§3.3) is the default; the fixed
-// variants exist for the ablation that motivates it (Remark after
-// Corollary 3.4).
-type Rounding int
+// Rounding selects how the mRR root-set size k is derived from n_i/η_i;
+// it is the engine's rrset.Rounding re-exported for configuration.
+type Rounding = rrset.Rounding
 
 const (
 	// RoundRandomized draws k = ⌊n_i/η_i⌋+1 with probability equal to the
 	// fractional part, else ⌊n_i/η_i⌋ (E[k] = n_i/η_i exactly).
-	RoundRandomized Rounding = iota
+	RoundRandomized = rrset.RoundRandomized
 	// RoundFloor always uses k = ⌊n_i/η_i⌋.
-	RoundFloor
+	RoundFloor = rrset.RoundFloor
 	// RoundCeil always uses k = ⌊n_i/η_i⌋ + 1.
-	RoundCeil
+	RoundCeil = rrset.RoundCeil
 )
 
 // Config parameterizes a Policy.
@@ -60,11 +62,10 @@ type Config struct {
 	// MaxSetsPerRound optionally caps the mRR pool per round (0 = the
 	// paper's θmax only). Benchmarks use it to bound worst-case memory.
 	MaxSetsPerRound int64
-	// Workers > 1 generates each pool increment of ≥ 256 sets across that
-	// many goroutines. Output is deterministic for a fixed Workers setting
-	// and identical across ALL Workers > 1 values (per-set seeding); it
-	// differs from the sequential (Workers ≤ 1) stream, which is kept
-	// bit-stable for reproducibility of recorded experiments.
+	// Workers sizes the sampling engine's worker pool: 0 uses GOMAXPROCS,
+	// 1 stays on the calling goroutine, n > 1 uses n workers. Selections
+	// are identical for every setting (the engine seeds each set
+	// independently), so parallelism is purely a speed knob.
 	Workers int
 	// NameOverride replaces the derived policy name when non-empty.
 	NameOverride string
@@ -88,13 +89,17 @@ type Stats struct {
 }
 
 // Policy is a TRIM/TRIM-B adaptive policy. It is stateless across rounds
-// apart from instrumentation, so one value may serve many runs
-// sequentially (not concurrently).
+// apart from instrumentation and reusable sampling machinery, so one value
+// may serve many runs sequentially (not concurrently).
 type Policy struct {
 	cfg  Config
 	name string
-	// scratch is the reusable mRR buffer for counts-only rounds.
-	scratch []int32
+	// engine is the shared sampling engine, created lazily for the run's
+	// graph/model and reused (with its worker pool and scratch) across
+	// rounds.
+	engine *rrset.Engine
+	// coll is the reusable mRR pool, Reset in O(touched) each round.
+	coll *rrset.Collection
 	// Stats accumulates instrumentation; callers may reset it between runs.
 	Stats Stats
 }
@@ -106,6 +111,9 @@ func New(cfg Config) (*Policy, error) {
 	}
 	if cfg.Batch < 1 {
 		return nil, fmt.Errorf("trim: batch size %d must be >= 1", cfg.Batch)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("trim: negative worker count %d", cfg.Workers)
 	}
 	name := cfg.NameOverride
 	if name == "" {
@@ -135,6 +143,44 @@ func (p *Policy) Name() string { return p.name }
 
 // Config returns the policy's configuration.
 func (p *Policy) Config() Config { return p.cfg }
+
+// Engine returns the policy's sampling engine (nil before the first
+// round).
+func (p *Policy) Engine() *rrset.Engine { return p.engine }
+
+// Close releases the policy's sampling engine (worker pool). The policy
+// may be used again afterwards — the next round recreates the engine.
+// Engines of policies dropped without Close are reclaimed by a finalizer;
+// Close just makes the release deterministic for callers that churn
+// through many policies.
+func (p *Policy) Close() {
+	if p.engine != nil {
+		p.engine.Close()
+		p.engine = nil
+		p.coll = nil
+	}
+}
+
+// strategy returns the configured root strategy.
+func (p *Policy) strategy() rrset.RootStrategy {
+	if p.cfg.Truncated {
+		return rrset.MultiRoot(p.cfg.Rounding)
+	}
+	return rrset.SingleRoot()
+}
+
+// prepare points the reusable engine and collection at the round's
+// graph/model, replacing them if a previous run used a different graph.
+func (p *Policy) prepare(st *adaptive.State) {
+	if p.engine == nil || p.engine.Graph() != st.G || p.engine.Model() != st.Model {
+		if p.engine != nil {
+			p.engine.Close()
+		}
+		p.engine = rrset.NewEngine(st.G, st.Model, p.cfg.Workers)
+		p.coll = rrset.NewCollection(st.G)
+	}
+	p.coll.Reset()
+}
 
 // SelectBatch implements adaptive.Policy: one round of truncated (or
 // vanilla) influence maximization on the residual graph.
@@ -193,15 +239,14 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 		cap64 = p.cfg.MaxSetsPerRound
 	}
 
-	sampler := rrset.NewSampler(st.G, st.Model)
-	defer func() { p.Stats.EdgesExamined += sampler.EdgesExamined }()
-	coll := rrset.NewCollection(st.G)
+	p.prepare(st)
+	coll := p.coll
 	countsOnly := b == 1
 	target := int64(math.Ceil(theta0))
 	if target > cap64 {
 		target = cap64
 	}
-	p.generate(sampler, coll, st, target, countsOnly)
+	p.generate(st, target, countsOnly)
 
 	for t := 1; ; t++ {
 		var seeds []int32
@@ -232,63 +277,29 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 			next = cap64
 		}
 		p.Stats.Doublings++
-		p.generate(sampler, coll, st, next, countsOnly)
+		p.generate(st, next, countsOnly)
 	}
 }
 
-// generate grows coll to the requested number of sets. countsOnly skips
-// set storage (batch size 1 needs only the coverage counts) and reuses one
-// scratch buffer across sets.
-func (p *Policy) generate(sampler *rrset.Sampler, coll *rrset.Collection, st *adaptive.State, total int64, countsOnly bool) {
-	if p.cfg.Workers > 1 && total-int64(coll.Size()) >= parallelThreshold {
-		p.generateParallel(coll, st, total, countsOnly)
+// generate grows the pool to the requested number of sets through the
+// shared engine. countsOnly skips set storage (batch size 1 needs only the
+// coverage counts). One Uint64 is drawn from the policy stream per batch;
+// everything below it is seeded per set.
+func (p *Policy) generate(st *adaptive.State, total int64, countsOnly bool) {
+	need := total - int64(p.coll.Size())
+	if need <= 0 {
 		return
 	}
-	ni := st.Ni()
-	etai := st.EtaI()
-	for int64(coll.Size()) < total {
-		var set []int32
-		if p.cfg.Truncated {
-			k := p.rootSize(ni, etai, st)
-			set = sampler.MRR(k, st.Inactive, st.Active, st.Rng, p.scratch[:0])
-		} else {
-			set = sampler.RR(st.Inactive, st.Active, st.Rng, p.scratch[:0])
-		}
-		if countsOnly {
-			coll.AddCountsOnly(set)
-			p.scratch = set // keep the grown buffer
-		} else {
-			coll.Add(set)
-			p.scratch = nil // ownership transferred
-		}
-		p.Stats.Sets++
-		p.Stats.SetNodes += int64(len(set))
-	}
-}
-
-// rootSize applies the configured rounding of n_i/η_i.
-func (p *Policy) rootSize(ni, etai int64, st *adaptive.State) int {
-	switch p.cfg.Rounding {
-	case RoundFloor:
-		k := ni / etai
-		if k < 1 {
-			k = 1
-		}
-		return int(k)
-	case RoundCeil:
-		k := ni/etai + 1
-		if k > ni {
-			k = ni
-		}
-		return int(k)
-	default:
-		return rrset.RootSize(ni, etai, st.Rng)
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	gs := p.engine.Generate(p.coll, rrset.Request{
+		Strategy:   p.strategy(),
+		Inactive:   st.Inactive,
+		Active:     st.Active,
+		EtaI:       st.EtaI(),
+		Count:      int(need),
+		Seed:       st.Rng.Uint64(),
+		CountsOnly: countsOnly,
+	})
+	p.Stats.Sets += gs.Sets
+	p.Stats.SetNodes += gs.SetNodes
+	p.Stats.EdgesExamined += gs.EdgesExamined
 }
