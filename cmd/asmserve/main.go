@@ -1,0 +1,105 @@
+// Command asmserve is the adaptive-seeding session service: an HTTP/JSON
+// front end over internal/serve that drives the paper's select–observe
+// loop interactively. Clients create a session on a registered dataset,
+// repeatedly fetch the next proposed seed batch and report back who the
+// batch actually influenced, until η users are active.
+//
+// Start it and run one round trip:
+//
+//	asmserve -addr :8080 -scale 0.2
+//
+//	curl -s localhost:8080/v1/datasets
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	    -d '{"dataset":"synth-nethept","eta_frac":0.05,"seed":7}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/next
+//	curl -s -X POST localhost:8080/v1/sessions/s1/observe -d '{"activated":[]}'
+//	curl -s localhost:8080/v1/sessions/s1
+//	curl -s -X DELETE localhost:8080/v1/sessions/s1
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness probe
+//	GET    /v1/datasets               registered dataset names
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions               list open sessions
+//	GET    /v1/sessions/{id}          session status
+//	POST   /v1/sessions/{id}/next     propose the next seed batch
+//	POST   /v1/sessions/{id}/observe  report the batch's realized influence
+//	DELETE /v1/sessions/{id}          close a session
+//
+// Sessions are deterministic per seed: two sessions created with equal
+// bodies propose identical batches under identical observations. SIGINT
+// or SIGTERM drains in-flight requests and closes every session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asti/internal/graph"
+	"asti/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		scale       = flag.Float64("scale", 0.2, "generation scale (0,1] for the synthetic datasets")
+		graphPath   = flag.String("graph", "", "also register a graph from an edge-list file (name 'custom')")
+		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *graphPath, *maxSessions); err != nil {
+		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, scale float64, graphPath string, maxSessions int) error {
+	reg := serve.NewSyntheticRegistry(scale)
+	if graphPath != "" {
+		if err := reg.RegisterLoader("custom", func() (*graph.Graph, error) {
+			return graph.LoadFile(graphPath)
+		}); err != nil {
+			return err
+		}
+	}
+	mgr := serve.NewManager(reg, maxSessions)
+	defer mgr.CloseAll()
+
+	srv := &http.Server{
+		Addr:        addr,
+		Handler:     newHandler(mgr),
+		ReadTimeout: 30 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("asmserve: listening on %s (datasets: %v)\n", addr, reg.Names())
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("asmserve: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/serve"
+)
+
+// testServer starts an httptest server over a small synthetic dataset.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := serve.NewRegistry()
+	err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 16)
+	ts := httptest.NewServer(newHandler(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+	return ts
+}
+
+// call makes one JSON request and decodes the response into out.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRoundTrip drives one session through the full HTTP lifecycle.
+func TestRoundTrip(t *testing.T) {
+	ts := testServer(t)
+
+	var health map[string]bool
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || !health["ok"] {
+		t.Fatalf("healthz: code %d body %v", code, health)
+	}
+	var datasets map[string][]string
+	if code := call(t, "GET", ts.URL+"/v1/datasets", nil, &datasets); code != 200 {
+		t.Fatalf("datasets: code %d", code)
+	}
+	if got := datasets["datasets"]; len(got) != 1 || got[0] != "tiny" {
+		t.Fatalf("datasets = %v", got)
+	}
+
+	var st statusResponse
+	code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.05, Seed: 7}, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	if st.ID == "" || st.Phase != "propose" || st.Eta < 1 {
+		t.Fatalf("create status %+v", st)
+	}
+	base := ts.URL + "/v1/sessions/" + st.ID
+
+	// Observe before next → 409.
+	var errBody errorResponse
+	if code := call(t, "POST", base+"/observe", observeRequest{}, &errBody); code != http.StatusConflict {
+		t.Errorf("observe-before-next: code %d (%s), want 409", code, errBody.Error)
+	}
+
+	// Drive to completion; observations report only the seeds themselves
+	// (a world where nobody relays the message), so the loop needs η seeds.
+	var rounds int
+	for {
+		var batch batchResponse
+		if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+			t.Fatalf("next (round %d): code %d", rounds+1, code)
+		}
+		if len(batch.Seeds) == 0 {
+			t.Fatal("empty batch")
+		}
+		var prog progressResponse
+		if code := call(t, "POST", base+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+			t.Fatalf("observe: code %d", code)
+		}
+		rounds++
+		if prog.Done {
+			break
+		}
+		if rounds > int(st.Eta)+1 {
+			t.Fatalf("no convergence after %d rounds", rounds)
+		}
+	}
+
+	// Next after done → 409; status shows done; list has the session.
+	if code := call(t, "POST", base+"/next", nil, &errBody); code != http.StatusConflict {
+		t.Errorf("next-after-done: code %d, want 409", code)
+	}
+	if code := call(t, "GET", base, nil, &st); code != 200 || !st.Done || st.Phase != "done" {
+		t.Errorf("status after done: code %d %+v", code, st)
+	}
+	var list map[string][]statusResponse
+	if code := call(t, "GET", ts.URL+"/v1/sessions", nil, &list); code != 200 || len(list["sessions"]) != 1 {
+		t.Errorf("list: code %d %v", code, list)
+	}
+
+	// Close; step after close → 410; status → 404.
+	if code := call(t, "DELETE", base, nil, nil); code != 200 {
+		t.Errorf("close: code %d", code)
+	}
+	if code := call(t, "GET", base, nil, &errBody); code != http.StatusNotFound {
+		t.Errorf("status after close: code %d, want 404", code)
+	}
+	if code := call(t, "DELETE", base, nil, &errBody); code != http.StatusNotFound {
+		t.Errorf("double close: code %d, want 404", code)
+	}
+}
+
+// TestParallelSessionsDeterministic is the acceptance criterion: two
+// sessions created over HTTP with the same dataset and seed, stepped
+// concurrently, propose identical seed batches.
+func TestParallelSessionsDeterministic(t *testing.T) {
+	ts := testServer(t)
+
+	const sessions = 2
+	const steps = 3
+	seqs := make([][][]int32, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var st statusResponse
+			if code := call(t, "POST", ts.URL+"/v1/sessions",
+				createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 42}, &st); code != http.StatusCreated {
+				t.Errorf("create: code %d", code)
+				return
+			}
+			base := ts.URL + "/v1/sessions/" + st.ID
+			for s := 0; s < steps; s++ {
+				var batch batchResponse
+				if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+					t.Errorf("next: code %d", code)
+					return
+				}
+				seqs[i] = append(seqs[i], batch.Seeds)
+				var prog progressResponse
+				// Identical observations: only the seeds activate.
+				if code := call(t, "POST", base+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+					t.Errorf("observe: code %d", code)
+					return
+				}
+				if prog.Done {
+					break
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < sessions; i++ {
+		if fmt.Sprint(seqs[i]) != fmt.Sprint(seqs[0]) {
+			t.Errorf("session %d proposed %v, session 0 proposed %v", i, seqs[i], seqs[0])
+		}
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	ts := testServer(t)
+	var errBody errorResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "nope"}, &errBody); code != http.StatusNotFound {
+		t.Errorf("unknown dataset: code %d, want 404", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", Model: "XYZ"}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("bad model: code %d, want 400", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", Policy: "nope"}, &errBody); code != http.StatusBadRequest {
+		t.Errorf("bad policy: code %d, want 400", code)
+	}
+	if code := call(t, "POST", ts.URL+"/v1/sessions/s99/next", nil, &errBody); code != http.StatusNotFound {
+		t.Errorf("unknown session: code %d, want 404", code)
+	}
+}
+
+// TestDatasetLoadFailure maps loader errors (a server-side problem) to
+// 500, not to the 400 class reserved for caller mistakes.
+func TestDatasetLoadFailure(t *testing.T) {
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("bad", func() (*graph.Graph, error) {
+		return nil, errors.New("disk gone")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 4)
+	ts := httptest.NewServer(newHandler(mgr))
+	defer ts.Close()
+	var errBody errorResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "bad"}, &errBody); code != http.StatusInternalServerError {
+		t.Errorf("failing loader: code %d (%s), want 500", code, errBody.Error)
+	}
+}

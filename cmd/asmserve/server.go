@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"asti/internal/diffusion"
+	"asti/internal/serve"
+)
+
+// createRequest is the body of POST /v1/sessions.
+type createRequest struct {
+	Dataset string  `json:"dataset"`
+	Policy  string  `json:"policy,omitempty"`
+	Model   string  `json:"model,omitempty"`
+	Eta     int64   `json:"eta,omitempty"`
+	EtaFrac float64 `json:"eta_frac,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+	Seed    uint64  `json:"seed"`
+}
+
+// statusResponse mirrors serve.Status on the wire.
+type statusResponse struct {
+	ID            string  `json:"id"`
+	Dataset       string  `json:"dataset"`
+	Policy        string  `json:"policy"`
+	Model         string  `json:"model"`
+	N             int64   `json:"n"`
+	Eta           int64   `json:"eta"`
+	Phase         string  `json:"phase"`
+	Round         int     `json:"round"`
+	Pending       []int32 `json:"pending,omitempty"`
+	Seeds         int     `json:"seeds"`
+	Activated     int64   `json:"activated"`
+	EtaI          int64   `json:"eta_i"`
+	Done          bool    `json:"done"`
+	SelectSeconds float64 `json:"select_seconds"`
+}
+
+// batchResponse is the body of POST /v1/sessions/{id}/next.
+type batchResponse struct {
+	ID    string  `json:"id"`
+	Round int     `json:"round"`
+	Seeds []int32 `json:"seeds"`
+}
+
+// observeRequest is the body of POST /v1/sessions/{id}/observe.
+type observeRequest struct {
+	Activated []int32 `json:"activated"`
+}
+
+// progressResponse is the body of a successful observe.
+type progressResponse struct {
+	ID             string `json:"id"`
+	Round          int    `json:"round"`
+	NewlyActivated int64  `json:"newly_activated"`
+	Activated      int64  `json:"activated"`
+	EtaI           int64  `json:"eta_i"`
+	Done           bool   `json:"done"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newHandler builds the asmserve route table over one session manager.
+func newHandler(mgr *serve.Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"datasets": mgr.Registry().Names()})
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req createRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		model, err := parseModel(req.Model)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s, err := mgr.Create(serve.Config{
+			Dataset: req.Dataset,
+			Policy:  req.Policy,
+			Model:   model,
+			Eta:     req.Eta,
+			EtaFrac: req.EtaFrac,
+			Epsilon: req.Epsilon,
+			Workers: req.Workers,
+			Seed:    req.Seed,
+		})
+		if err != nil {
+			writeError(w, createStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, toStatusResponse(s.Status()))
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		list := mgr.List()
+		out := make([]statusResponse, len(list))
+		for i, st := range list {
+			out[i] = toStatusResponse(st)
+		}
+		writeJSON(w, http.StatusOK, map[string][]statusResponse{"sessions": out})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toStatusResponse(s.Status()))
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/next", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		prop, err := s.Propose()
+		if err != nil {
+			writeError(w, stepStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, batchResponse{ID: s.ID(), Round: prop.Round, Seeds: prop.Seeds})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		s, err := mgr.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		var req observeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		prog, err := s.Observe(req.Activated)
+		if err != nil {
+			writeError(w, stepStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, progressResponse{
+			ID:             s.ID(),
+			Round:          prog.Round,
+			NewlyActivated: prog.NewlyActivated,
+			Activated:      prog.Activated,
+			EtaI:           prog.EtaI,
+			Done:           prog.Done,
+		})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := mgr.Close(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+	})
+	return mux
+}
+
+// parseModel maps the wire model name to a diffusion.Model ("" = IC).
+func parseModel(name string) (diffusion.Model, error) {
+	switch strings.ToUpper(name) {
+	case "", "IC":
+		return diffusion.IC, nil
+	case "LT":
+		return diffusion.LT, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (IC or LT)", name)
+	}
+}
+
+// createStatus maps session-creation errors to HTTP statuses: unknown
+// dataset names are the caller's mistake (404), loader failures are
+// server-side (500), everything else is a bad request.
+func createStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrDatasetLoad):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// stepStatus maps NextBatch/Observe errors to HTTP statuses: lifecycle
+// ordering violations are conflicts, closed sessions are gone, anything
+// else (bad node ids, policy failure) is a bad request.
+func stepStatus(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrBatchPending),
+		errors.Is(err, serve.ErrNoBatchPending),
+		errors.Is(err, serve.ErrDone):
+		return http.StatusConflict
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusGone
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func toStatusResponse(st serve.Status) statusResponse {
+	return statusResponse{
+		ID:            st.ID,
+		Dataset:       st.Dataset,
+		Policy:        st.Policy,
+		Model:         st.Model,
+		N:             st.N,
+		Eta:           st.Eta,
+		Phase:         st.Phase,
+		Round:         st.Round,
+		Pending:       st.Pending,
+		Seeds:         st.Seeds,
+		Activated:     st.Activated,
+		EtaI:          st.EtaI,
+		Done:          st.Done,
+		SelectSeconds: st.SelectSeconds,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -26,7 +26,10 @@ import (
 // to the paper's residual graph G_i = subgraph induced by the inactive
 // nodes V_i, with shortfall η_i = η − (n − n_i).
 type State struct {
-	G     *graph.Graph
+	// G is the full (immutable) graph; the residual view is G minus
+	// Active.
+	G *graph.Graph
+	// Model is the diffusion model of the campaign.
 	Model diffusion.Model
 	// Eta is the original threshold η.
 	Eta int64
@@ -61,6 +64,7 @@ type Policy interface {
 
 // RoundTrace records what one round selected and observed.
 type RoundTrace struct {
+	// Seeds is the batch selected this round.
 	Seeds []int32
 	// Marginal is the realized marginal spread of the batch: the number of
 	// nodes newly activated this round (Appendix D's per-seed series).
@@ -73,6 +77,7 @@ type RoundTrace struct {
 
 // Result summarizes one adaptive run on one realization.
 type Result struct {
+	// Policy is the policy's report name.
 	Policy string
 	// Seeds is the full seed sequence in selection order.
 	Seeds []int32
@@ -107,11 +112,7 @@ func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *di
 	if φ.Graph() != g || φ.Model() != model {
 		return nil, errors.New("adaptive: realization does not match graph/model")
 	}
-	// Policies carrying cross-run state (e.g. CELF's lazy queue) declare a
-	// Reset; a Run is always a fresh campaign.
-	if r, ok := policy.(interface{ Reset() }); ok {
-		r.Reset()
-	}
+	ResetPolicy(policy)
 	st := &State{
 		G:        g,
 		Model:    model,
@@ -133,10 +134,8 @@ func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *di
 		if len(batch) == 0 {
 			return nil, ErrNoProgress
 		}
-		for _, s := range batch {
-			if s < 0 || s >= g.N() || st.Active.Get(s) {
-				return nil, fmt.Errorf("adaptive: round %d: policy selected invalid or active seed %d", st.Round, s)
-			}
+		if err := ValidateBatch(g, st.Active, batch); err != nil {
+			return nil, fmt.Errorf("adaptive: round %d: %w", st.Round, err)
 		}
 		// Observe the batch's realized influence in φ restricted to the
 		// residual graph, then commit it.
@@ -144,7 +143,7 @@ func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *di
 		for _, v := range newly {
 			st.Active.Set(v)
 		}
-		st.Inactive = compactInactive(st.Inactive, st.Active)
+		st.Inactive = CompactInactive(st.Inactive, st.Active)
 		res.Seeds = append(res.Seeds, batch...)
 		res.Rounds = append(res.Rounds, RoundTrace{
 			Seeds:      batch,
@@ -187,9 +186,30 @@ func allNodes(n int32) []int32 {
 	return xs
 }
 
-// compactInactive removes newly activated nodes from the inactive list,
+// ResetPolicy clears any cross-run state a policy carries (e.g. CELF's
+// lazy queue, declared via a Reset method): a Run — or a serve.Session —
+// is always a fresh campaign. Shared by every loop that hosts a Policy.
+func ResetPolicy(p Policy) {
+	if r, ok := p.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// ValidateBatch rejects batches containing out-of-range or
+// already-active seeds — the guard every loop hosting a Policy applies
+// before committing a proposal.
+func ValidateBatch(g *graph.Graph, active *bitset.Set, batch []int32) error {
+	for _, s := range batch {
+		if s < 0 || s >= g.N() || active.Get(s) {
+			return fmt.Errorf("policy selected invalid or active seed %d", s)
+		}
+	}
+	return nil
+}
+
+// CompactInactive removes newly activated nodes from the inactive list,
 // preserving order.
-func compactInactive(inactive []int32, active *bitset.Set) []int32 {
+func CompactInactive(inactive []int32, active *bitset.Set) []int32 {
 	out := inactive[:0]
 	for _, v := range inactive {
 		if !active.Get(v) {

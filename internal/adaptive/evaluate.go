@@ -13,7 +13,9 @@ import (
 // realizations — the evaluation protocol of the paper's §6 (it samples 20
 // worlds and reports averages).
 type Summary struct {
+	// Policy is the evaluated policy's report name.
 	Policy string
+	// Worlds is the number of sampled realizations.
 	Worlds int
 	// Seeds / Spreads / Seconds are the per-world series, aligned.
 	Seeds   []float64

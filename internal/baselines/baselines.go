@@ -62,9 +62,13 @@ type ATEUC struct {
 
 // ATEUCStats aggregates instrumentation across Select calls.
 type ATEUCStats struct {
-	Sets      int64
+	// Sets counts generated RR sets.
+	Sets int64
+	// Doublings counts pool-doubling steps taken.
 	Doublings int64
-	HitCap    int64
+	// HitCap counts runs that exhausted the iteration budget without
+	// certifying the target ratio.
+	HitCap int64
 }
 
 // Name identifies the baseline in reports.

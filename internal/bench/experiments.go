@@ -27,7 +27,7 @@ func Experiments() []string {
 		"ablation-rounding", "ablation-batch", "ablation-truncated",
 		"ablation-scaling", "ablation-adaptivity", "ablation-vaswani",
 		"ablation-weighting", "ablation-imsolvers",
-		"parallel-speedup",
+		"parallel-speedup", "serve-throughput",
 		"export-ic", "export-lt", "export-csv-ic", "export-csv-lt",
 	}
 }
@@ -35,6 +35,7 @@ func Experiments() []string {
 // Runner executes experiments against one profile, caching the two model
 // sweeps so `-exp all` computes each at most once.
 type Runner struct {
+	// Profile is the knob bundle every experiment reads.
 	Profile  Profile
 	Progress io.Writer // nil silences progress lines
 
@@ -141,6 +142,8 @@ func (r *Runner) Run(id string, w io.Writer) error {
 		return r.ablationScaling(w)
 	case "parallel-speedup":
 		return r.parallelSpeedup(w)
+	case "serve-throughput":
+		return r.serveThroughput(w)
 	case "export-ic", "export-lt":
 		model := diffusion.IC
 		if id == "export-lt" {

@@ -30,9 +30,10 @@ type Profile struct {
 	// Scales maps dataset name → generation scale in (0,1].
 	Scales map[string]float64
 	// Thresholds is the η/n sweep for the three smaller datasets
-	// (paper: 0.01…0.2); ThresholdsSmall is the tailored sweep for the
-	// LiveJournal-like dataset (paper: 0.01…0.05).
-	Thresholds      []float64
+	// (paper: 0.01…0.2).
+	Thresholds []float64
+	// ThresholdsSmall is the tailored sweep for the LiveJournal-like
+	// dataset (paper: 0.01…0.05).
 	ThresholdsSmall []float64
 	// AdaptIMDatasets lists datasets on which the (10–20× slower) AdaptIM
 	// baseline runs; the paper ran it everywhere but hit a 72h timeout on

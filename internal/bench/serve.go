@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+	"asti/internal/serve"
+)
+
+// serveThroughput load-tests the adaptive-seeding session service the
+// way cmd/asmserve exercises it, minus HTTP: many concurrent sessions on
+// one shared registry graph, each playing its own select–observe
+// campaign to completion against a private realization. It reports
+// completed sessions/sec, steps/sec, and the p50/p99 latency of one step
+// (a NextBatch proposal plus its Observe commit), then verifies the
+// service determinism contract — two sessions with the same seed fed the
+// same observations propose identical batches.
+func (r *Runner) serveThroughput(w io.Writer) error {
+	spec, err := gen.Dataset("synth-nethept")
+	if err != nil {
+		return err
+	}
+	g, err := spec.Generate(r.Profile.scaleFor(spec.Name))
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry()
+	if err := reg.RegisterGraph(spec.Name, g); err != nil {
+		return err
+	}
+	mgr := serve.NewManager(reg, 0)
+	defer mgr.CloseAll()
+
+	cores := runtime.GOMAXPROCS(0)
+	sessions := 4 * cores
+	if sessions < 8 {
+		sessions = 8
+	}
+	eta := etaFor(g, 0.1)
+	fmt.Fprintf(w, "# Serve throughput — %d concurrent sessions on shared %s (n=%d), IC, η=%d, %d core(s)\n",
+		sessions, g.Name(), g.N(), eta, cores)
+
+	// Each session owns one world and one engine; sessions themselves are
+	// the parallelism, so their engines run sequentially (Workers: 1).
+	cfg := serve.Config{Dataset: spec.Name, Eta: eta, Epsilon: r.Profile.Epsilon,
+		Workers: 1, MaxSetsPerRound: r.Profile.MaxSetsPerRound}
+	stepLats := make([][]time.Duration, sessions)
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	t0 := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = r.Profile.Seed + uint64(i)
+			s, err := mgr.Create(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer mgr.Close(s.ID())
+			φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed^0x5E57E+uint64(i)))
+			stepLats[i], errs[i] = driveSession(s, φ)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range stepLats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	secs := wall.Seconds()
+	fmt.Fprintf(w, "completed %d sessions (%d steps) in %.3gs: %.1f sessions/sec, %.1f steps/sec\n",
+		sessions, len(all), secs, float64(sessions)/secs, float64(len(all))/secs)
+	fmt.Fprintf(w, "step latency (NextBatch+Observe): p50 %s  p99 %s  max %s\n",
+		percentile(all, 0.50), percentile(all, 0.99), all[len(all)-1].Round(time.Microsecond))
+
+	// Determinism across concurrent sessions: same seed, same
+	// observations → same proposals, regardless of the load above.
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed^0xDE7))
+	var first, second []int32
+	for round, dst := range []*[]int32{&first, &second} {
+		c := cfg
+		c.Seed = r.Profile.Seed
+		s, err := mgr.Create(c)
+		if err != nil {
+			return err
+		}
+		if _, err := driveSessionInto(s, φ, dst); err != nil {
+			return fmt.Errorf("bench: determinism run %d: %w", round, err)
+		}
+		mgr.Close(s.ID())
+	}
+	identical := len(first) == len(second)
+	if identical {
+		for i := range first {
+			if first[i] != second[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "equal-seed sessions proposed identical batches: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("bench: equal-seed sessions diverged")
+	}
+	return nil
+}
+
+// driveSession plays s to completion against φ and returns the latency of
+// every step (one NextBatch + one Observe).
+func driveSession(s *serve.Session, φ *diffusion.Realization) ([]time.Duration, error) {
+	var seeds []int32
+	return driveSessionInto(s, φ, &seeds)
+}
+
+// driveSessionInto is driveSession, also appending every proposed seed to
+// *seeds.
+func driveSessionInto(s *serve.Session, φ *diffusion.Realization, seeds *[]int32) ([]time.Duration, error) {
+	mirror := bitset.New(int(φ.Graph().N()))
+	var lats []time.Duration
+	for {
+		t0 := time.Now()
+		batch, err := s.NextBatch()
+		step := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		*seeds = append(*seeds, batch...)
+		// The client-side world simulation is excluded from the step
+		// latency: in the field it is the campaign, not the service.
+		newly := φ.Spread(batch, mirror)
+		for _, v := range newly {
+			mirror.Set(v)
+		}
+		t1 := time.Now()
+		prog, err := s.Observe(newly)
+		lats = append(lats, step+time.Since(t1))
+		if err != nil {
+			return nil, err
+		}
+		if prog.Done {
+			return lats, nil
+		}
+	}
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

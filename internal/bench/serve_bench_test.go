@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeThroughputExperiment smoke-tests the session-service load
+// experiment on the micro profile: it must complete every session,
+// report the throughput and latency lines, and certify equal-seed
+// session determinism.
+func TestServeThroughputExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(microProfile(), nil)
+	if err := r.Run("serve-throughput", &buf); err != nil {
+		t.Fatalf("serve-throughput: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"sessions/sec", "p50", "p99", "identical batches: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

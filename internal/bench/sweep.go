@@ -18,6 +18,7 @@ import (
 // point, aggregated over the profile's realizations — one marker of a
 // paper figure.
 type Cell struct {
+	// Dataset, Model, Policy, EtaFrac and Eta identify the cell.
 	Dataset string
 	Model   diffusion.Model
 	Policy  string
@@ -71,6 +72,7 @@ func (p Profile) skipCell(col policySpec, frac float64) bool {
 // Sweep holds the results of the full threshold sweep for one model — the
 // shared computation behind Figures 4/5/9 (IC) and 6/7 (LT) and Table 3.
 type Sweep struct {
+	// Profile and Model identify the sweep.
 	Profile Profile
 	Model   diffusion.Model
 	// Cells indexed [dataset][etaFrac][policy].

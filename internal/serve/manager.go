@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"asti/internal/adaptive"
+	"asti/internal/baselines"
+	"asti/internal/diffusion"
+	"asti/internal/trim"
+)
+
+// Config describes one session to create through a Manager.
+type Config struct {
+	// Dataset is the registry name of the graph to campaign on.
+	Dataset string
+	// Policy names the proposal policy: "ASTI" (TRIM, the default),
+	// "ASTI-<b>" (TRIM-B with batch size b), or "AdaptIM" (the
+	// untruncated baseline).
+	Policy string
+	// Model selects the diffusion model (default IC).
+	Model diffusion.Model
+	// Eta is the absolute threshold η; when 0, EtaFrac applies.
+	Eta int64
+	// EtaFrac is the threshold as a fraction of n (default 0.05),
+	// consulted only when Eta is 0.
+	EtaFrac float64
+	// Epsilon is the approximation slack ε ∈ (0,1) (default 0.5).
+	Epsilon float64
+	// Workers sizes the session's sampling-engine pool: 0 = GOMAXPROCS,
+	// 1 = sequential. Proposals are identical for every setting.
+	Workers int
+	// MaxSetsPerRound optionally caps the per-round sample pool
+	// (0 = the algorithm's θmax only).
+	MaxSetsPerRound int64
+	// Seed fixes the session's sampling randomness: equal configs propose
+	// equal batches under equal observations.
+	Seed uint64
+}
+
+// ErrTooManySessions is returned by Create when the manager's session
+// cap is reached.
+var ErrTooManySessions = errors.New("serve: session limit reached")
+
+// Manager owns the session table of a serving process: it resolves
+// datasets through a shared Registry, creates and indexes sessions, and
+// closes them. All methods are safe for concurrent use.
+type Manager struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	limit    int
+}
+
+// NewManager returns a manager resolving datasets from reg. limit caps
+// the number of concurrently open sessions (0 = unlimited).
+func NewManager(reg *Registry, limit int) *Manager {
+	return &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit}
+}
+
+// Registry returns the manager's dataset registry.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Create builds a session from cfg: it resolves the dataset (loading the
+// graph on first use), instantiates a fresh policy, and registers the
+// session under a new id.
+func (m *Manager) Create(cfg Config) (*Session, error) {
+	g, err := m.reg.Graph(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	// Model's zero value is IC, so an unset Config.Model defaults sanely.
+	model := cfg.Model
+	eta := cfg.Eta
+	if eta == 0 {
+		frac := cfg.EtaFrac
+		if frac == 0 {
+			frac = 0.05
+		}
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("serve: eta fraction %v outside [0,1]", frac)
+		}
+		eta = int64(frac * float64(g.N()))
+		if eta < 1 {
+			eta = 1
+		}
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	policy, err := newPolicy(cfg.Policy, eps, cfg.Workers, cfg.MaxSetsPerRound)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(g, model, eta, policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.dataset = cfg.Dataset
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.limit > 0 && len(m.sessions) >= m.limit {
+		s.Close()
+		return nil, ErrTooManySessions
+	}
+	m.nextID++
+	s.id = "s" + strconv.FormatUint(m.nextID, 10)
+	m.sessions[s.id] = s
+	return s, nil
+}
+
+// Session returns the open session with the given id.
+func (m *Manager) Session(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown session %q", id)
+	}
+	return s, nil
+}
+
+// Close closes the session with the given id and removes it from the
+// table.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: unknown session %q", id)
+	}
+	s.Close()
+	return nil
+}
+
+// CloseAll closes every open session (serving-process shutdown).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.sessions = map[string]*Session{}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+}
+
+// List returns a status snapshot of every open session, sorted by id.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Status()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric id order: "s2" before "s10".
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// newPolicy instantiates a fresh proposal policy by wire name.
+func newPolicy(name string, epsilon float64, workers int, maxSets int64) (adaptive.Policy, error) {
+	switch {
+	case name == "" || strings.EqualFold(name, "ASTI"):
+		return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true,
+			Workers: workers, MaxSetsPerRound: maxSets})
+	case strings.HasPrefix(strings.ToUpper(name), "ASTI-"):
+		b, err := strconv.Atoi(name[len("ASTI-"):])
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("serve: bad batch size in policy %q", name)
+		}
+		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true,
+			Workers: workers, MaxSetsPerRound: maxSets})
+	case strings.EqualFold(name, "AdaptIM"):
+		return baselines.NewAdaptIM(epsilon, maxSets, workers)
+	default:
+		return nil, fmt.Errorf("serve: unknown policy %q (ASTI, ASTI-<b>, AdaptIM)", name)
+	}
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"asti/internal/adaptive"
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/rng"
+)
+
+// Phase is a session's position in the select–observe loop.
+type Phase int
+
+const (
+	// PhasePropose means the session is waiting for NextBatch.
+	PhasePropose Phase = iota
+	// PhaseObserve means a batch is pending and the session is waiting
+	// for Observe.
+	PhaseObserve
+	// PhaseDone means the threshold η has been reached.
+	PhaseDone
+	// PhaseClosed means Close was called; the session accepts no calls.
+	PhaseClosed
+)
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	switch p {
+	case PhasePropose:
+		return "propose"
+	case PhaseObserve:
+		return "observe"
+	case PhaseDone:
+		return "done"
+	case PhaseClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Session lifecycle errors, comparable with errors.Is.
+var (
+	// ErrClosed is returned by NextBatch/Propose and Observe after Close
+	// (Status and Result keep reporting the final state).
+	ErrClosed = errors.New("serve: session closed")
+	// ErrDone is returned by NextBatch once η is reached.
+	ErrDone = errors.New("serve: session already reached eta")
+	// ErrBatchPending is returned by NextBatch while a proposed batch
+	// awaits its observation.
+	ErrBatchPending = errors.New("serve: previous batch not yet observed")
+	// ErrNoBatchPending is returned by Observe when no batch awaits
+	// observation (observe-before-next, double-observe).
+	ErrNoBatchPending = errors.New("serve: no batch pending observation")
+)
+
+// Session is one live adaptive-seeding campaign: the residual-graph state
+// of the ASTI loop with the observation step handed to the caller.
+// NextBatch proposes seeds for the current residual graph; Observe
+// commits the batch's realized influence and advances the state. The
+// session is done once at least η nodes are active.
+//
+// A Session is safe for concurrent use; calls are serialized internally.
+// Given the same dataset, policy and seed, the proposed batches are a
+// deterministic function of the observation sequence.
+type Session struct {
+	mu sync.Mutex
+
+	id      string
+	dataset string
+	g       *graph.Graph
+	model   diffusion.Model
+	eta     int64
+	policy  adaptive.Policy
+	src     *rng.Source
+
+	phase    Phase
+	round    int
+	active   *bitset.Set
+	inactive []int32
+	pending  []int32
+	seeds    []int32
+	rounds   []adaptive.RoundTrace
+
+	created    time.Time
+	selectTime time.Duration
+}
+
+// NewSession returns a session for one campaign on g: reach eta active
+// nodes under the model, proposing batches with policy. The policy
+// becomes owned by the session (sessions must not share one) and its
+// sampling randomness derives from seed alone. The graph is only read.
+func NewSession(g *graph.Graph, model diffusion.Model, eta int64, policy adaptive.Policy, seed uint64) (*Session, error) {
+	if g == nil {
+		return nil, errors.New("serve: nil graph")
+	}
+	if !model.Valid() {
+		return nil, errors.New("serve: unknown diffusion model")
+	}
+	if eta < 1 || eta > int64(g.N()) {
+		return nil, fmt.Errorf("serve: eta %d outside [1, n=%d]", eta, g.N())
+	}
+	if policy == nil {
+		return nil, errors.New("serve: nil policy")
+	}
+	adaptive.ResetPolicy(policy)
+	n := int(g.N())
+	inactive := make([]int32, n)
+	for i := range inactive {
+		inactive[i] = int32(i)
+	}
+	return &Session{
+		g:        g,
+		model:    model,
+		eta:      eta,
+		policy:   policy,
+		src:      rng.New(seed),
+		active:   bitset.New(n),
+		inactive: inactive,
+		created:  time.Now(),
+	}, nil
+}
+
+// ID returns the manager-assigned session id ("" for sessions built
+// directly with NewSession).
+func (s *Session) ID() string { return s.id }
+
+// Graph returns the session's (shared, read-only) graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Proposal is one NextBatch result: the proposed seeds and the 1-based
+// round they belong to.
+type Proposal struct {
+	// Round is the 1-based round index of this proposal.
+	Round int
+	// Seeds is the proposed batch.
+	Seeds []int32
+}
+
+// NextBatch proposes the next seed batch for the current residual graph.
+// It returns ErrBatchPending if the previous batch has not been observed,
+// ErrDone once η is reached, and ErrClosed after Close.
+func (s *Session) NextBatch() ([]int32, error) {
+	p, err := s.Propose()
+	return p.Seeds, err
+}
+
+// Propose is NextBatch returning the round alongside the seeds, so
+// callers relaying proposals (cmd/asmserve) can pair the two atomically.
+func (s *Session) Propose() (Proposal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.phase {
+	case PhaseClosed:
+		return Proposal{}, ErrClosed
+	case PhaseDone:
+		return Proposal{}, ErrDone
+	case PhaseObserve:
+		return Proposal{}, ErrBatchPending
+	}
+	s.round++
+	st := &adaptive.State{
+		G:        s.g,
+		Model:    s.model,
+		Eta:      s.eta,
+		Active:   s.active,
+		Inactive: s.inactive,
+		Round:    s.round,
+		Rng:      s.src,
+	}
+	t0 := time.Now()
+	batch, err := s.policy.SelectBatch(st)
+	s.selectTime += time.Since(t0)
+	if err != nil {
+		s.round--
+		return Proposal{}, fmt.Errorf("serve: round %d: %w", s.round+1, err)
+	}
+	if len(batch) == 0 {
+		s.round--
+		return Proposal{}, adaptive.ErrNoProgress
+	}
+	if err := adaptive.ValidateBatch(s.g, s.active, batch); err != nil {
+		s.round--
+		return Proposal{}, fmt.Errorf("serve: round %d: %w", s.round+1, err)
+	}
+	s.pending = append([]int32(nil), batch...)
+	s.phase = PhaseObserve
+	out := make([]int32, len(batch))
+	copy(out, batch)
+	return Proposal{Round: s.round, Seeds: out}, nil
+}
+
+// Progress reports the session state after an observation.
+type Progress struct {
+	// Round is the 1-based round just observed.
+	Round int
+	// NewlyActivated is the number of nodes this observation activated
+	// (seeds included).
+	NewlyActivated int64
+	// Activated is the total number of active nodes.
+	Activated int64
+	// EtaI is the remaining shortfall max(η − Activated, 0).
+	EtaI int64
+	// Done reports whether the campaign reached η.
+	Done bool
+}
+
+// Observe commits the realized influence of the pending batch: activated
+// lists the nodes the batch influenced in the real world (the batch's
+// own seeds are always committed and may be included or omitted freely).
+// Node ids out of range are rejected; already-active ids are ignored, so
+// callers may report their full activated-user set rather than the
+// per-wave delta. Observe returns ErrNoBatchPending unless a NextBatch
+// proposal is outstanding.
+func (s *Session) Observe(activated []int32) (Progress, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.phase {
+	case PhaseClosed:
+		return Progress{}, ErrClosed
+	case PhasePropose, PhaseDone:
+		return Progress{}, ErrNoBatchPending
+	}
+	for _, v := range activated {
+		if v < 0 || v >= s.g.N() {
+			return Progress{}, fmt.Errorf("serve: round %d: observed node %d outside [0, n=%d)", s.round, v, s.g.N())
+		}
+	}
+	before := s.activatedLocked()
+	niBefore := int64(len(s.inactive))
+	for _, v := range s.pending {
+		s.active.Set(v)
+	}
+	for _, v := range activated {
+		s.active.Set(v)
+	}
+	s.inactive = adaptive.CompactInactive(s.inactive, s.active)
+	newly := s.activatedLocked() - before
+	s.seeds = append(s.seeds, s.pending...)
+	s.rounds = append(s.rounds, adaptive.RoundTrace{
+		Seeds:      s.pending,
+		Marginal:   newly,
+		NiBefore:   niBefore,
+		EtaIBefore: s.eta - before,
+	})
+	s.pending = nil
+	s.phase = PhasePropose
+	if s.activatedLocked() >= s.eta {
+		s.phase = PhaseDone
+	}
+	return s.progressLocked(newly), nil
+}
+
+// Status is a point-in-time snapshot of a session.
+type Status struct {
+	// ID is the manager-assigned session id.
+	ID string
+	// Dataset is the registry name of the session's graph ("" when the
+	// session was built on an unregistered graph).
+	Dataset string
+	// Policy is the policy's report name.
+	Policy string
+	// Model names the diffusion model.
+	Model string
+	// N is the graph's node count.
+	N int64
+	// Eta is the campaign threshold η.
+	Eta int64
+	// Phase is the loop position ("propose", "observe", "done",
+	// "closed").
+	Phase string
+	// Round counts NextBatch proposals so far.
+	Round int
+	// Pending is the batch awaiting observation (nil otherwise).
+	Pending []int32
+	// Seeds is the total number of committed seeds.
+	Seeds int
+	// Activated is the number of active nodes.
+	Activated int64
+	// EtaI is the remaining shortfall max(η − Activated, 0).
+	EtaI int64
+	// Done reports whether η has been reached.
+	Done bool
+	// SelectSeconds is the cumulative policy-side selection time.
+	SelectSeconds float64
+}
+
+// Status returns a snapshot of the session.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID:            s.id,
+		Dataset:       s.dataset,
+		Policy:        s.policy.Name(),
+		Model:         s.model.String(),
+		N:             int64(s.g.N()),
+		Eta:           s.eta,
+		Phase:         s.phase.String(),
+		Round:         s.round,
+		Seeds:         len(s.seeds),
+		Activated:     s.activatedLocked(),
+		Done:          s.phase == PhaseDone,
+		SelectSeconds: s.selectTime.Seconds(),
+	}
+	if s.pending != nil {
+		st.Pending = append([]int32(nil), s.pending...)
+	}
+	st.EtaI = s.eta - st.Activated
+	if st.EtaI < 0 {
+		st.EtaI = 0
+	}
+	return st
+}
+
+// Result converts a finished session into the adaptive.Result shape the
+// batch evaluators report, so served campaigns and offline runs can be
+// compared with the same tooling.
+func (s *Session) Result() *adaptive.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spread := s.activatedLocked()
+	return &adaptive.Result{
+		Policy:     s.policy.Name(),
+		Seeds:      append([]int32(nil), s.seeds...),
+		Rounds:     append([]adaptive.RoundTrace(nil), s.rounds...),
+		Spread:     spread,
+		ReachedEta: spread >= s.eta,
+		Duration:   s.selectTime,
+	}
+}
+
+// Close releases the session's policy resources (the sampling-engine
+// worker pool for TRIM-family policies). Close is idempotent; NextBatch
+// and Observe return ErrClosed afterwards, while Status and Result keep
+// reporting the final state.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase == PhaseClosed {
+		return
+	}
+	s.phase = PhaseClosed
+	s.pending = nil
+	if c, ok := s.policy.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// activatedLocked returns the active-node count; callers hold s.mu.
+func (s *Session) activatedLocked() int64 {
+	return int64(s.g.N()) - int64(len(s.inactive))
+}
+
+// progressLocked builds a Progress snapshot; callers hold s.mu.
+func (s *Session) progressLocked(newly int64) Progress {
+	act := s.activatedLocked()
+	etaI := s.eta - act
+	if etaI < 0 {
+		etaI = 0
+	}
+	return Progress{
+		Round:          s.round,
+		NewlyActivated: newly,
+		Activated:      act,
+		EtaI:           etaI,
+		Done:           s.phase == PhaseDone,
+	}
+}

@@ -24,10 +24,15 @@ type Item struct {
 // CampaignResult reports one item's adaptive seed-minimization run on
 // its blended influence graph.
 type CampaignResult struct {
-	Item   string
-	Eta    int64
-	Seeds  []int32
+	// Item names the advertised item.
+	Item string
+	// Eta is the item's reach threshold.
+	Eta int64
+	// Seeds is the item's seed sequence in selection order.
+	Seeds []int32
+	// Spread is the realized spread at termination.
 	Spread int64
+	// Rounds counts the adaptive rounds used.
 	Rounds int
 	// Duration is the selection time (the campaign-planning cost).
 	Duration time.Duration

@@ -1,0 +1,19 @@
+package asti_test
+
+import (
+	"fmt"
+
+	"asti"
+)
+
+// Example_quickstart is the README's quick-start snippet, compiled: the
+// README shows this exact code, so the snippet cannot drift from the
+// real API or its real output.
+func Example_quickstart() {
+	g, _ := asti.GenerateDataset("synth-nethept", 0.1) // synthetic scale model
+	policy, _ := asti.NewASTI(0.5)                     // TRIM, ε = 0.5
+	world := asti.SampleRealization(g, asti.IC, 42)    // one influence world
+	res, _ := asti.RunAdaptive(g, asti.IC, 76, policy, world, 43)
+	fmt.Println(len(res.Seeds), "seeds influenced", res.Spread, "users")
+	// Output: 11 seeds influenced 85 users
+}

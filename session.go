@@ -1,0 +1,82 @@
+package asti
+
+import (
+	"asti/internal/serve"
+)
+
+// Session is a live adaptive-seeding campaign with the observation step
+// handed to the caller: NextBatch proposes seeds for the current residual
+// graph, Observe feeds back who the batch actually influenced, and the
+// loop repeats until η users are active. It is the library-level
+// counterpart of one cmd/asmserve HTTP session; see OpenSession.
+type Session = serve.Session
+
+// SessionStatus is a point-in-time snapshot of a Session.
+type SessionStatus = serve.Status
+
+// SessionProgress reports a Session's state after an observation.
+type SessionProgress = serve.Progress
+
+// SessionRegistry resolves dataset names to graphs, loading each at most
+// once and sharing the cached graph read-only across sessions.
+type SessionRegistry = serve.Registry
+
+// SessionManager owns a table of concurrent sessions over a shared
+// registry — the in-process equivalent of running cmd/asmserve.
+type SessionManager = serve.Manager
+
+// SessionConfig describes a session created through a SessionManager.
+type SessionConfig = serve.Config
+
+// Session lifecycle errors; compare with errors.Is.
+var (
+	// ErrSessionClosed is returned by session calls after Close.
+	ErrSessionClosed = serve.ErrClosed
+	// ErrSessionDone is returned by NextBatch once η is reached.
+	ErrSessionDone = serve.ErrDone
+	// ErrBatchPending is returned by NextBatch while a proposed batch
+	// awaits its observation.
+	ErrBatchPending = serve.ErrBatchPending
+	// ErrNoBatchPending is returned by Observe when no batch awaits
+	// observation.
+	ErrNoBatchPending = serve.ErrNoBatchPending
+)
+
+// OpenSession starts an adaptive campaign on g: reach eta active nodes
+// under the model, proposing batches with policy (NewASTI, NewASTIBatch,
+// NewAdaptIM, ...). Unlike RunAdaptive — which plays the whole
+// select–observe loop against a sampled Realization — a session leaves
+// observation to the caller, so real (or replayed) feedback can drive
+// the loop:
+//
+//	s, _ := asti.OpenSession(g, asti.IC, 500, policy, 7)
+//	defer s.Close()
+//	for {
+//	    batch, err := s.NextBatch()
+//	    if errors.Is(err, asti.ErrSessionDone) {
+//	        break
+//	    }
+//	    prog, _ := s.Observe(launchWave(batch)) // the real world answers
+//	    if prog.Done {
+//	        break
+//	    }
+//	}
+//
+// The policy becomes owned by the session (do not share or reuse it) and
+// its randomness derives from seed alone: equal graph+policy+seed
+// sessions propose identical batches under identical observations.
+// Sessions are safe for concurrent use, and any number of sessions may
+// share one graph.
+func OpenSession(g *Graph, model Model, eta int64, policy Policy, seed uint64) (*Session, error) {
+	return serve.NewSession(g, model, eta, policy, seed)
+}
+
+// NewSessionRegistry returns an empty dataset registry for
+// NewSessionManager.
+func NewSessionRegistry() *SessionRegistry { return serve.NewRegistry() }
+
+// NewSessionManager returns a manager creating sessions on reg's
+// datasets; limit caps concurrently open sessions (0 = unlimited).
+func NewSessionManager(reg *SessionRegistry, limit int) *SessionManager {
+	return serve.NewManager(reg, limit)
+}
