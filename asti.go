@@ -135,6 +135,7 @@ type Option func(*options)
 
 type options struct {
 	workers int
+	reuse   bool
 }
 
 // WithWorkers sizes the sampling engine's worker pool: 0 (the default)
@@ -144,8 +145,18 @@ func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }
 
+// WithPoolReuse toggles cross-round sampling-pool reuse for the adaptive
+// policies (default on): instead of regenerating the whole mRR pool each
+// round, the policy prunes the sets invalidated by the activation delta,
+// regenerates exactly those, and tops the pool up — so a round's sampling
+// cost scales with how much the residual graph changed, not with θ_max.
+// Reuse on or off only changes speed: the selected seeds are identical.
+func WithPoolReuse(on bool) Option {
+	return func(o *options) { o.reuse = on }
+}
+
 func applyOptions(opts []Option) options {
-	var o options
+	o := options{reuse: true}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -157,14 +168,14 @@ func applyOptions(opts []Option) options {
 // per-round guarantee and the (lnη+1)²/((1−1/e)(1−ε)) overall ratio.
 func NewASTI(epsilon float64, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: o.workers})
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: o.workers, ReusePool: o.reuse})
 }
 
 // NewASTIBatch returns the TRIM-B policy selecting b seeds per round
 // (guarantee scaled by ρ_b = 1−(1−1/b)^b).
 func NewASTIBatch(epsilon float64, b int, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: o.workers})
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: o.workers, ReusePool: o.reuse})
 }
 
 // NewAdaptIM returns the adaptive influence-maximization baseline: greedy
@@ -172,7 +183,7 @@ func NewASTIBatch(epsilon float64, b int, opts ...Option) (Policy, error) {
 // paper's §6 comparison).
 func NewAdaptIM(epsilon float64, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return baselines.NewAdaptIM(epsilon, 0, o.workers)
+	return baselines.NewAdaptIM(epsilon, 0, o.workers, o.reuse)
 }
 
 // SampleRealization draws one influence world for g under the model.

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,19 +39,61 @@ func main() {
 		etaFrac      = flag.Float64("eta-frac", 0.05, "threshold as a fraction of n")
 		epsilon      = flag.Float64("epsilon", 0.5, "approximation parameter ε")
 		workers      = flag.Int("workers", 0, "sampling-engine workers (0 = all cores, 1 = sequential; ASTI/ATEUC policies)")
+		reuse        = flag.Bool("reuse", true, "carry the sampling pool across adaptive rounds (speed only; selections are identical)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		realizations = flag.Int("realizations", 1, "number of realizations to average over")
 		trace        = flag.Bool("trace", false, "print the per-round trace of the first realization")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if err := run(*dataset, *graphPath, *scale, *modelName, *policyName, *eta, *etaFrac, *epsilon, *workers, *seed, *realizations, *trace); err != nil {
+	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		return run(*dataset, *graphPath, *scale, *modelName, *policyName, *eta, *etaFrac, *epsilon, *workers, *reuse, *seed, *realizations, *trace)
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmrun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, graphPath string, scale float64, modelName, policyName string, eta int64, etaFrac, epsilon float64, workers int, seed uint64, realizations int, trace bool) error {
+// withProfiles wraps fn with optional pprof instrumentation: a CPU
+// profile covering fn, and a heap profile snapped after it returns —
+// profiling the adaptive loop without editing code.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+func run(dataset, graphPath string, scale float64, modelName, policyName string, eta int64, etaFrac, epsilon float64, workers int, reuse bool, seed uint64, realizations int, trace bool) error {
 	var g *graph.Graph
 	var err error
 	if graphPath != "" {
@@ -89,7 +133,7 @@ func run(dataset, graphPath string, scale float64, modelName, policyName string,
 		return runATEUC(g, model, eta, epsilon, workers, base, realizations)
 	}
 
-	policy, err := makePolicy(policyName, epsilon, workers)
+	policy, err := makePolicy(policyName, epsilon, workers, reuse)
 	if err != nil {
 		return err
 	}
@@ -117,19 +161,19 @@ func run(dataset, graphPath string, scale float64, modelName, policyName string,
 }
 
 // makePolicy parses a policy name into an adaptive.Policy.
-func makePolicy(name string, epsilon float64, workers int) (adaptive.Policy, error) {
+func makePolicy(name string, epsilon float64, workers int, reuse bool) (adaptive.Policy, error) {
 	lower := strings.ToLower(name)
 	switch {
 	case lower == "asti":
-		return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: workers})
+		return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: workers, ReusePool: reuse})
 	case strings.HasPrefix(lower, "asti-"):
 		b, err := strconv.Atoi(lower[len("asti-"):])
 		if err != nil || b < 1 {
 			return nil, fmt.Errorf("bad batch size in %q", name)
 		}
-		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: workers})
+		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: workers, ReusePool: reuse})
 	case lower == "adaptim":
-		return baselines.NewAdaptIM(epsilon, 0, workers)
+		return baselines.NewAdaptIM(epsilon, 0, workers, reuse)
 	case lower == "mcgreedy":
 		return &baselines.MCGreedy{Samples: 500, Truncated: true}, nil
 	case lower == "celf":

@@ -24,7 +24,7 @@ func TestMakePolicy(t *testing.T) {
 		{"celf", "CELFGreedy"},
 	}
 	for _, c := range cases {
-		p, err := makePolicy(c.in, 0.5, 0)
+		p, err := makePolicy(c.in, 0.5, 0, true)
 		if err != nil {
 			t.Errorf("makePolicy(%q): %v", c.in, err)
 			continue
@@ -34,21 +34,21 @@ func TestMakePolicy(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"", "TRIM", "ASTI-", "ASTI-0", "ASTI-x"} {
-		if _, err := makePolicy(bad, 0.5, 0); err == nil {
+		if _, err := makePolicy(bad, 0.5, 0, true); err == nil {
 			t.Errorf("makePolicy(%q) accepted", bad)
 		}
 	}
 }
 
 func TestRunFromDataset(t *testing.T) {
-	err := run("synth-nethept", "", 0.05, "IC", "ASTI", 0, 0.05, 0.5, 0, 1, 1, false)
+	err := run("synth-nethept", "", 0.05, "IC", "ASTI", 0, 0.05, 0.5, 0, true, 1, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunATEUCPath(t *testing.T) {
-	err := run("synth-nethept", "", 0.05, "LT", "ATEUC", 0, 0.05, 0.5, 0, 1, 2, false)
+	err := run("synth-nethept", "", 0.05, "LT", "ATEUC", 0, 0.05, 0.5, 0, true, 1, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,22 +63,22 @@ func TestRunFromFile(t *testing.T) {
 	if err := graph.SaveFile(path, g); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, 1, "IC", "ASTI-4", 20, 0, 0.5, 0, 2, 1, true); err != nil {
+	if err := run("", path, 1, "IC", "ASTI-4", 20, 0, 0.5, 0, true, 2, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("no-such-dataset", "", 1, "IC", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+	if err := run("no-such-dataset", "", 1, "IC", "ASTI", 10, 0, 0.5, 0, true, 1, 1, false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("synth-nethept", "", 0.05, "XY", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+	if err := run("synth-nethept", "", 0.05, "XY", "ASTI", 10, 0, 0.5, 0, true, 1, 1, false); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run("synth-nethept", "", 0.05, "IC", "nope", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+	if err := run("synth-nethept", "", 0.05, "IC", "nope", 10, 0, 0.5, 0, true, 1, 1, false); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := run("", "/no/such/file", 1, "IC", "ASTI", 10, 0, 0.5, 0, 1, 1, false); err == nil {
+	if err := run("", "/no/such/file", 1, "IC", "ASTI", 10, 0, 0.5, 0, true, 1, 1, false); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }

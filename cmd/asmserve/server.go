@@ -20,7 +20,10 @@ type createRequest struct {
 	EtaFrac float64 `json:"eta_frac,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Workers int     `json:"workers,omitempty"`
-	Seed    uint64  `json:"seed"`
+	// DisablePoolReuse opts the session out of cross-round sampling-pool
+	// reuse (on by default; proposals are identical either way).
+	DisablePoolReuse bool   `json:"disable_pool_reuse,omitempty"`
+	Seed             uint64 `json:"seed"`
 }
 
 // statusResponse mirrors serve.Status on the wire.
@@ -89,14 +92,15 @@ func newHandler(mgr *serve.Manager) http.Handler {
 			return
 		}
 		s, err := mgr.Create(serve.Config{
-			Dataset: req.Dataset,
-			Policy:  req.Policy,
-			Model:   model,
-			Eta:     req.Eta,
-			EtaFrac: req.EtaFrac,
-			Epsilon: req.Epsilon,
-			Workers: req.Workers,
-			Seed:    req.Seed,
+			Dataset:          req.Dataset,
+			Policy:           req.Policy,
+			Model:            model,
+			Eta:              req.Eta,
+			EtaFrac:          req.EtaFrac,
+			Epsilon:          req.Epsilon,
+			Workers:          req.Workers,
+			DisablePoolReuse: req.DisablePoolReuse,
+			Seed:             req.Seed,
 		})
 		if err != nil {
 			writeError(w, createStatus(err), err)

@@ -40,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		epsilon      = fs.Float64("epsilon", 0, "override the approximation parameter ε")
 		scale        = fs.Float64("scale", 0, "override every dataset's generation scale (0 = profile default)")
 		workers      = fs.Int("workers", 0, "sampling-engine workers (0 = all cores, 1 = sequential; selections are identical either way)")
+		reuse        = fs.Bool("reuse", true, "carry sampling pools across adaptive rounds (speed only; selections are identical)")
+		benchOut     = fs.String("bench-out", "", "directory to write machine-readable BENCH_<experiment>.json perf results into (empty = don't)")
 		out          = fs.String("o", "", "write the report to a file instead of stdout")
 		quiet        = fs.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	)
@@ -72,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *workers > 0 {
 		p.Workers = *workers
 	}
+	p.DisablePoolReuse = !*reuse
 
 	w := stdout
 	if *out != "" {
@@ -91,5 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !*quiet {
 		progress = stderr
 	}
-	return bench.NewRunner(p, progress).Run(*exp, w)
+	r := bench.NewRunner(p, progress)
+	r.BenchDir = *benchOut
+	return r.Run(*exp, w)
 }

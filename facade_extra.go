@@ -33,7 +33,7 @@ func NewKCorePolicy() Policy { return &baselines.KCorePolicy{} }
 // WithWorkers(workers). Selections are byte-identical for every worker
 // count (per-set seeding in the shared engine).
 func NewASTIParallel(epsilon float64, batch, workers int) (Policy, error) {
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: batch, Truncated: true, Workers: workers})
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: batch, Truncated: true, Workers: workers, ReusePool: true})
 }
 
 // NewSketchPolicy returns the adaptive comparator built on bottom-k

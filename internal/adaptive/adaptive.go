@@ -37,6 +37,12 @@ type State struct {
 	Active *bitset.Set
 	// Inactive lists the nodes of the residual graph (V_i), kept compact.
 	Inactive []int32
+	// Delta lists the nodes removed from Inactive by the most recent
+	// observation — the activation delta between the previous round's
+	// residual and this one (nil on round 1, or when the host loop cannot
+	// vouch for it). Policies use it to reuse sampling state across
+	// rounds; a nil Delta only ever costs speed, never correctness.
+	Delta []int32
 	// Round is the 1-based current round index.
 	Round int
 	// Rng is the policy's private randomness stream for this run.
@@ -143,7 +149,7 @@ func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *di
 		for _, v := range newly {
 			st.Active.Set(v)
 		}
-		st.Inactive = CompactInactive(st.Inactive, st.Active)
+		st.Inactive, st.Delta = CompactInactive(st.Inactive, st.Active)
 		res.Seeds = append(res.Seeds, batch...)
 		res.Rounds = append(res.Rounds, RoundTrace{
 			Seeds:      batch,
@@ -207,14 +213,20 @@ func ValidateBatch(g *graph.Graph, active *bitset.Set, batch []int32) error {
 	return nil
 }
 
-// CompactInactive removes newly activated nodes from the inactive list,
-// preserving order.
-func CompactInactive(inactive []int32, active *bitset.Set) []int32 {
+// CompactInactive removes newly activated nodes from the inactive list in
+// place, preserving order, and returns the surviving list alongside the
+// removed nodes — the activation delta the loops feed back to policies via
+// State.Delta (so sampling pools can be pruned instead of rebuilt). delta
+// is nil when nothing was removed; otherwise it is freshly allocated (the
+// kept prefix overwrites the input's storage).
+func CompactInactive(inactive []int32, active *bitset.Set) (kept, delta []int32) {
 	out := inactive[:0]
 	for _, v := range inactive {
 		if !active.Get(v) {
 			out = append(out, v)
+		} else {
+			delta = append(delta, v)
 		}
 	}
-	return out
+	return out, delta
 }

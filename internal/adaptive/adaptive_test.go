@@ -4,11 +4,21 @@ import (
 	"errors"
 	"testing"
 
+	"asti/internal/bitset"
 	"asti/internal/diffusion"
 	"asti/internal/gen"
 	"asti/internal/graph"
 	"asti/internal/rng"
 )
+
+// policyFunc adapts a closure into a Policy for probing loop behavior.
+type policyFunc struct {
+	name string
+	fn   func(*State) ([]int32, error)
+}
+
+func (p policyFunc) Name() string                           { return p.name }
+func (p policyFunc) SelectBatch(st *State) ([]int32, error) { return p.fn(st) }
 
 // pickFirst is a trivial policy selecting the lowest-id inactive node.
 type pickFirst struct{}
@@ -186,5 +196,97 @@ func TestEtaEqualsN(t *testing.T) {
 	}
 	if res.Spread != 6 {
 		t.Fatalf("spread %d, want all 6", res.Spread)
+	}
+}
+
+func TestCompactInactiveEdgeCases(t *testing.T) {
+	mk := func(vs ...int32) *bitset.Set {
+		s := bitset.New(10)
+		for _, v := range vs {
+			s.Set(v)
+		}
+		return s
+	}
+
+	// Empty delta: nothing active among the inactive — list unchanged,
+	// nil delta.
+	in := []int32{1, 3, 5, 7}
+	kept, delta := CompactInactive(in, mk())
+	if len(kept) != 4 || delta != nil {
+		t.Fatalf("empty delta: kept %v delta %v", kept, delta)
+	}
+	for i, v := range []int32{1, 3, 5, 7} {
+		if kept[i] != v {
+			t.Fatalf("empty delta reordered: %v", kept)
+		}
+	}
+
+	// All activated: empty kept list, delta is the whole input in order.
+	kept, delta = CompactInactive([]int32{2, 4, 6}, mk(2, 4, 6))
+	if len(kept) != 0 {
+		t.Fatalf("all-activated kept %v", kept)
+	}
+	if len(delta) != 3 || delta[0] != 2 || delta[1] != 4 || delta[2] != 6 {
+		t.Fatalf("all-activated delta %v", delta)
+	}
+
+	// Already-compacted input (active nodes not in the list): unchanged,
+	// nil delta — removal is relative to the list, not the mask.
+	kept, delta = CompactInactive([]int32{1, 3, 5}, mk(0, 2, 4))
+	if len(kept) != 3 || delta != nil {
+		t.Fatalf("already-compacted: kept %v delta %v", kept, delta)
+	}
+
+	// Mixed: order preserved on both sides.
+	kept, delta = CompactInactive([]int32{0, 1, 2, 3, 4}, mk(1, 3))
+	if len(kept) != 3 || kept[0] != 0 || kept[1] != 2 || kept[2] != 4 {
+		t.Fatalf("mixed kept %v", kept)
+	}
+	if len(delta) != 2 || delta[0] != 1 || delta[1] != 3 {
+		t.Fatalf("mixed delta %v", delta)
+	}
+
+	// Empty input.
+	kept, delta = CompactInactive(nil, mk(1))
+	if len(kept) != 0 || delta != nil {
+		t.Fatalf("empty input: kept %v delta %v", kept, delta)
+	}
+}
+
+// TestRunSuppliesDelta pins that the loop feeds each round's activation
+// delta to the policy: Delta must be nil on round 1 and exactly the nodes
+// removed from Inactive afterwards.
+func TestRunSuppliesDelta(t *testing.T) {
+	g := smallGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(4))
+	var rounds int
+	pol := policyFunc{
+		name: "delta-probe",
+		fn: func(st *State) ([]int32, error) {
+			rounds++
+			if rounds == 1 && st.Delta != nil {
+				t.Errorf("round 1 got delta %v", st.Delta)
+			}
+			if rounds > 1 && len(st.Delta) == 0 {
+				t.Errorf("round %d got no delta", rounds)
+			}
+			for _, v := range st.Delta {
+				if !st.Active.Get(v) {
+					t.Errorf("round %d delta node %d not active", rounds, v)
+				}
+				for _, u := range st.Inactive {
+					if u == v {
+						t.Errorf("round %d delta node %d still inactive", rounds, v)
+					}
+				}
+			}
+			return st.Inactive[:1], nil
+		},
+	}
+	if _, err := Run(g, diffusion.IC, int64(g.N()/2), pol, φ, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 2 {
+		t.Skipf("campaign ended in %d round(s)", rounds)
 	}
 }

@@ -34,14 +34,16 @@ import (
 
 // NewAdaptIM returns the AdaptIM baseline: the trim machinery with the
 // vanilla-spread objective and single-root RR-sets. workers sizes the
-// sampling engine's pool (0 = GOMAXPROCS, 1 = sequential).
-func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int) (*trim.Policy, error) {
+// sampling engine's pool (0 = GOMAXPROCS, 1 = sequential); reuse carries
+// the RR pool across rounds (speed only — selections are identical).
+func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int, reuse bool) (*trim.Policy, error) {
 	return trim.New(trim.Config{
 		Epsilon:         epsilon,
 		Batch:           1,
 		Truncated:       false,
 		MaxSetsPerRound: maxSetsPerRound,
 		Workers:         workers,
+		ReusePool:       reuse,
 	})
 }
 

@@ -27,7 +27,7 @@ func Experiments() []string {
 		"ablation-rounding", "ablation-batch", "ablation-truncated",
 		"ablation-scaling", "ablation-adaptivity", "ablation-vaswani",
 		"ablation-weighting", "ablation-imsolvers",
-		"parallel-speedup", "serve-throughput",
+		"parallel-speedup", "serve-throughput", "trim",
 		"export-ic", "export-lt", "export-csv-ic", "export-csv-lt",
 	}
 }
@@ -38,6 +38,10 @@ type Runner struct {
 	// Profile is the knob bundle every experiment reads.
 	Profile  Profile
 	Progress io.Writer // nil silences progress lines
+	// BenchDir, when non-empty, receives machine-readable
+	// BENCH_<experiment>.json files from perf experiments ("trim"), so
+	// the perf trajectory can be tracked PR-over-PR.
+	BenchDir string
 
 	sweeps map[diffusion.Model]*Sweep
 }
@@ -144,6 +148,8 @@ func (r *Runner) Run(id string, w io.Writer) error {
 		return r.parallelSpeedup(w)
 	case "serve-throughput":
 		return r.serveThroughput(w)
+	case "trim":
+		return r.trimReuse(w)
 	case "export-ic", "export-lt":
 		model := diffusion.IC
 		if id == "export-lt" {
@@ -264,7 +270,7 @@ func (r *Runner) fig8(w io.Writer) error {
 		var astiOver, ateucOver, ateucMiss int
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 			res, err := adaptive.Run(g, model, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			pol.Close()
 			if err != nil {
@@ -408,7 +414,7 @@ func (r *Runner) ablationBatch(w io.Writer) error {
 		var sets, rounds int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: b, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)+uint64(b)<<8))
 			pol.Close()
 			if err != nil {
@@ -454,7 +460,7 @@ func (r *Runner) ablationTruncated(w io.Writer) error {
 		var sets int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: truncated,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 			t0 := time.Now()
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			if err != nil {

@@ -139,7 +139,7 @@ func (r *Runner) heuristics(w io.Writer) error {
 	policies := []func() adaptive.Policy{
 		func() adaptive.Policy {
 			return trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 		},
 		func() adaptive.Policy { return &baselines.PageRankPolicy{} },
 		func() adaptive.Policy { return &baselines.DegreeDiscountPolicy{} },
@@ -247,7 +247,7 @@ func (r *Runner) ablationVaswani(w io.Writer) error {
 	var sets int64
 	for i, φ := range worlds {
 		pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 		res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 		pol.Close()
 		if err != nil {
@@ -413,7 +413,7 @@ func (r *Runner) ablationWeighting(w io.Writer) error {
 		var sets int64
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			if err != nil {
 				return fmt.Errorf("bench: weighting %s: %w", scheme, err)

@@ -39,7 +39,7 @@ func (r *Runner) parallelSpeedup(w io.Writer) error {
 	run := func(workers int) (secs float64, seeds [][]int32, err error) {
 		for i, φ := range worlds {
 			pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: workers})
+				MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: workers, ReusePool: r.Profile.reusePool()})
 			res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+uint64(i)))
 			pol.Close()
 			if err != nil {

@@ -54,9 +54,18 @@ type Profile struct {
 	// exercise the parallel path out of the box), 1 = sequential. Seed
 	// selections are identical for every setting.
 	Workers int
+	// DisablePoolReuse turns off cross-round sampling-pool reuse
+	// (trim.Config.ReusePool) in every TRIM-family policy the harness
+	// builds. Reuse is on by default and never changes selections; the
+	// knob exists so the reuse win itself can be measured (the "trim"
+	// experiment flips it internally).
+	DisablePoolReuse bool
 	// Seed fixes all harness randomness.
 	Seed uint64
 }
+
+// reusePool resolves the profile's pool-reuse setting for policy configs.
+func (p Profile) reusePool() bool { return !p.DisablePoolReuse }
 
 // Quick is the default profile: full-shape sweeps sized for a single core.
 func Quick() Profile {

@@ -34,7 +34,7 @@ func (r *Runner) ablationScaling(w io.Writer) error {
 		}
 		eta := etaFor(g, 0.05)
 		pol := trim.MustNew(trim.Config{Epsilon: r.Profile.Epsilon, Batch: 1, Truncated: true,
-			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers})
+			MaxSetsPerRound: r.Profile.MaxSetsPerRound, Workers: r.Profile.Workers, ReusePool: r.Profile.reusePool()})
 		φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed))
 		t0 := time.Now()
 		_, err = adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(r.Profile.Seed+1))

@@ -167,12 +167,18 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	return sorted[rankIndex(len(sorted), p)].Round(time.Microsecond)
+}
+
+// rankIndex is the shared nearest-rank index rule (⌈p·n⌉−1, clamped)
+// behind every percentile the harness reports.
+func rankIndex(n int, p float64) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return sorted[idx].Round(time.Microsecond)
+	return idx
 }

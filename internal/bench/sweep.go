@@ -176,6 +176,7 @@ func runCell(p Profile, g *graph.Graph, model diffusion.Model, col policySpec, f
 			MaxSetsPerRound: p.MaxSetsPerRound,
 			NameOverride:    col.name,
 			Workers:         p.Workers,
+			ReusePool:       p.reusePool(),
 		})
 		res, err := adaptive.Run(g, model, eta, pol, φ, rng.New(p.Seed+uint64(i)*7919+uint64(eta)))
 		if err != nil {

@@ -69,8 +69,9 @@ func (s RootStrategy) rootSize(ni, etai int64, r *rng.Source) int {
 type Request struct {
 	// Strategy picks single-root RR vs multi-root mRR sampling.
 	Strategy RootStrategy
-	// Inactive lists the residual nodes roots are drawn from (for the full
-	// graph pass all node ids).
+	// Inactive lists the residual nodes (the exact complement of Active).
+	// Roots are rejection-sampled from [0, n) against the Active mask; the
+	// list itself is consulted for n_i and for the k == n_i fast path.
 	Inactive []int32
 	// Active masks removed nodes (nil = none). It is read concurrently by
 	// the workers and must not be mutated during Generate.
@@ -81,12 +82,32 @@ type Request struct {
 	// Count is the number of sets to generate.
 	Count int
 	// Seed is the batch seed: set i of the batch derives its private
-	// generator as SplitMix64(Seed+i), making the output byte-identical for
-	// every worker count (including 1).
+	// generator as SplitMix64(Seed+FirstIndex+i), making the output
+	// byte-identical for every worker count (including 1).
 	Seed uint64
+	// FirstIndex offsets the per-set seed derivation, giving every pool
+	// position a stable seed across calls: generating positions [0,1000)
+	// in one call equals generating [0,500) then [500,1000) with
+	// FirstIndex 500. Cross-round pool reuse leans on this — a position's
+	// seed never changes, so an untouched stored set IS what regeneration
+	// would produce.
+	FirstIndex int64
 	// CountsOnly updates only the coverage counts Λ_R(v) in the target
 	// Collection without storing the sets.
 	CountsOnly bool
+}
+
+// RootSizeAt replays the root-size draw that generateOne performs for the
+// pool position idx under batch seed: it is the first consumption of the
+// per-set stream, so replaying it is exact. Prune uses it to detect sets
+// whose root count would differ under the round's new n_i/η_i.
+func (s RootStrategy) RootSizeAt(seed uint64, idx int64, ni, etai int64) int {
+	if !s.multi {
+		return 1
+	}
+	var src rng.Source
+	src.Seed(rng.SplitMix64(seed + uint64(idx)))
+	return s.rootSize(ni, etai, &src)
 }
 
 // GenStats reports instrumentation for one Generate call.
@@ -137,13 +158,18 @@ type workerState struct {
 	sampler *Sampler
 	out     []int32 // concatenated sets of the current batch
 	lens    []int32 // per-set lengths of the current batch
+	rootKs  []int32 // per-set root counts of the current batch
 }
 
-// genTask asks a pool worker for sets [lo, hi) of a batch.
+// genTask asks a pool worker for sets [lo, hi) of a batch. When ids is
+// non-nil the task regenerates the stored sets ids[lo:hi] (Refresh);
+// otherwise it generates fresh pool positions base+lo … base+hi-1.
 type genTask struct {
 	idx      int
 	lo, hi   int
 	seed     uint64
+	base     int64
+	ids      []int32
 	strat    RootStrategy
 	inactive []int32
 	active   *bitset.Set
@@ -156,9 +182,11 @@ type genTask struct {
 // point into the worker's arena and stay valid until the next Generate
 // call resets it.
 type taskResult struct {
-	idx  int
-	data []int32
-	lens []int32
+	idx    int
+	data   []int32
+	lens   []int32
+	rootKs []int32
+	ids    []int32 // refresh tasks: the stored-set ids regenerated, aligned with lens
 }
 
 // NewEngine returns an Engine for g under the given model. workers <= 0
@@ -220,23 +248,35 @@ func poolWorker(tasks <-chan genTask, ws *workerState) {
 		dataStart, lensStart := len(ws.out), len(ws.lens)
 		edges0 := ws.sampler.EdgesExamined
 		for i := t.lo; i < t.hi; i++ {
-			src.Seed(rng.SplitMix64(t.seed + uint64(i)))
+			gidx := t.base + int64(i)
+			if t.ids != nil {
+				gidx = int64(t.ids[i])
+			}
+			src.Seed(rng.SplitMix64(t.seed + uint64(gidx)))
 			setStart := len(ws.out)
-			ws.out = generateOne(ws.sampler, t.strat, t.inactive, t.active, t.etai, &src, ws.out)
+			var k int32
+			ws.out, k = generateOne(ws.sampler, t.strat, t.inactive, t.active, t.etai, &src, ws.out)
 			ws.lens = append(ws.lens, int32(len(ws.out)-setStart))
+			ws.rootKs = append(ws.rootKs, k)
 		}
 		t.edges.Add(ws.sampler.EdgesExamined - edges0)
-		t.results <- taskResult{idx: t.idx, data: ws.out[dataStart:], lens: ws.lens[lensStart:]}
+		var ids []int32
+		if t.ids != nil {
+			ids = t.ids[t.lo:t.hi]
+		}
+		t.results <- taskResult{idx: t.idx, data: ws.out[dataStart:], lens: ws.lens[lensStart:], rootKs: ws.rootKs[lensStart:], ids: ids}
 	}
 }
 
-// generateOne samples one set under the strategy into dst.
-func generateOne(s *Sampler, strat RootStrategy, inactive []int32, active *bitset.Set, etai int64, r *rng.Source, dst []int32) []int32 {
+// generateOne samples one set under the strategy into dst, via the
+// residual-stable sampler paths, returning the extended slice and the
+// drawn root count.
+func generateOne(s *Sampler, strat RootStrategy, inactive []int32, active *bitset.Set, etai int64, r *rng.Source, dst []int32) ([]int32, int32) {
 	if strat.multi {
 		k := strat.rootSize(int64(len(inactive)), etai, r)
-		return s.MRR(k, inactive, active, r, dst)
+		return s.MRRStable(k, inactive, active, r, dst), int32(k)
 	}
-	return s.RR(inactive, active, r, dst)
+	return s.RRStable(active, r, dst), 1
 }
 
 // Generate adds req.Count sets to coll and returns the batch's
@@ -255,13 +295,13 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 		edges0 := ws.sampler.EdgesExamined
 		var src rng.Source
 		for i := 0; i < need; i++ {
-			src.Seed(rng.SplitMix64(req.Seed + uint64(i)))
-			set := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
+			src.Seed(rng.SplitMix64(req.Seed + uint64(req.FirstIndex+int64(i))))
+			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
 			ws.out = set // keep the grown buffer; Add copies
 			if req.CountsOnly {
 				coll.AddCountsOnly(set)
 			} else {
-				coll.Add(set)
+				coll.AddRooted(set, k)
 			}
 			stats.SetNodes += int64(len(set))
 		}
@@ -269,12 +309,81 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 		return stats
 	}
 
+	ordered, edges := e.fanOut(req, need, nil)
+	// Commit in set-index order so the Collection's stored-set ids are
+	// scheduling-independent.
+	for _, tr := range ordered {
+		var off int32
+		for si, l := range tr.lens {
+			set := tr.data[off : off+l]
+			off += l
+			if req.CountsOnly {
+				coll.AddCountsOnly(set)
+			} else {
+				coll.AddRooted(set, tr.rootKs[si])
+			}
+			stats.SetNodes += int64(len(set))
+		}
+	}
+	stats.EdgesExamined = edges
+	return stats
+}
+
+// Refresh regenerates the identified stored sets of coll in place, each
+// from its position-stable seed SplitMix64(req.Seed + id) over the
+// request's residual view. It is the regeneration half of cross-round pool
+// reuse: Collection.Prune names the invalidated sets, Refresh re-derives
+// them, and the pool ends byte-identical to full regeneration at a cost
+// proportional to the activation delta. req.Count is ignored; ids must be
+// ascending stored-set ids (as returned by Prune).
+func (e *Engine) Refresh(coll *Collection, req Request, ids []int32) GenStats {
+	need := len(ids)
+	if need == 0 {
+		return GenStats{}
+	}
+	stats := GenStats{Sets: int64(need)}
+	if e.workers == 1 || need < minParallelSets {
+		ws := e.inline
+		edges0 := ws.sampler.EdgesExamined
+		var src rng.Source
+		for _, id := range ids {
+			src.Seed(rng.SplitMix64(req.Seed + uint64(id)))
+			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
+			ws.out = set
+			coll.Replace(id, set, k)
+			stats.SetNodes += int64(len(set))
+		}
+		stats.EdgesExamined = ws.sampler.EdgesExamined - edges0
+		return stats
+	}
+
+	ordered, edges := e.fanOut(req, need, ids)
+	// Commit in id order: coverage math is order-independent, but a fixed
+	// order keeps the data layout (and memory profile) reproducible.
+	for _, tr := range ordered {
+		var off int32
+		for si, l := range tr.lens {
+			set := tr.data[off : off+l]
+			off += l
+			coll.Replace(tr.ids[si], set, tr.rootKs[si])
+			stats.SetNodes += int64(len(set))
+		}
+	}
+	stats.EdgesExamined = edges
+	return stats
+}
+
+// fanOut distributes need set generations (fresh positions, or the given
+// stored ids when non-nil) over the worker pool and returns the results in
+// task order plus the examined-edge total.
+func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64) {
 	e.start()
-	// No tasks are in flight between Generate calls, so the arenas the
-	// previous batch handed out can be reclaimed here.
+	// No tasks are in flight between calls, so the arenas the previous
+	// batch handed out can be reclaimed here.
 	for _, ws := range e.states {
 		ws.out = ws.out[:0]
 		ws.lens = ws.lens[:0]
+		ws.rootKs = ws.rootKs[:0]
 	}
 	grain := (need + e.workers*4 - 1) / (e.workers * 4)
 	if grain < minTaskGrain {
@@ -291,7 +400,7 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 		}
 		e.tasks <- genTask{
 			idx: ti, lo: lo, hi: hi,
-			seed: req.Seed, strat: req.Strategy,
+			seed: req.Seed, base: req.FirstIndex, ids: ids, strat: req.Strategy,
 			inactive: req.Inactive, active: req.Active, etai: req.EtaI,
 			results: results, edges: &edges,
 		}
@@ -301,21 +410,5 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 		tr := <-results
 		ordered[tr.idx] = tr
 	}
-	// Commit in set-index order so the Collection's stored-set ids are
-	// scheduling-independent.
-	for _, tr := range ordered {
-		var off int32
-		for _, l := range tr.lens {
-			set := tr.data[off : off+l]
-			off += l
-			if req.CountsOnly {
-				coll.AddCountsOnly(set)
-			} else {
-				coll.Add(set)
-			}
-			stats.SetNodes += int64(len(set))
-		}
-	}
-	stats.EdgesExamined = edges.Load()
-	return stats
+	return ordered, edges.Load()
 }

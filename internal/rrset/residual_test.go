@@ -1,6 +1,7 @@
 package rrset
 
 import (
+	"fmt"
 	"testing"
 
 	"asti/internal/bitset"
@@ -72,4 +73,85 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// TestCorollary34MultiRoundTrace extends the residual-sandwich test to a
+// multi-round adaptive trace with a pool maintained by prune-and-top-up:
+// after each observation the carried pool is pruned against the
+// activation delta, refreshed and topped up, and the resulting estimator
+// η_i·Pr[v ∈ R] must still sandwich the exact truncated marginal spread
+// within [(1−1/e)·E[Γ], E[Γ]] on every round — the cross-validation that
+// reused samples remain faithful to the residual distribution. A fully
+// regenerated pool is checked against the reused one set-for-set, so the
+// sandwich holding for one certifies both.
+func TestCorollary34MultiRoundTrace(t *testing.T) {
+	g := gen.Figure1Graph()
+	eta := int64(3)
+	const draws = 100000
+	const seed = 0x34C0
+	strat := MultiRoot(RoundRandomized)
+
+	e := NewEngine(g, diffusion.IC, 4)
+	defer e.Close()
+	eFresh := NewEngine(g, diffusion.IC, 4)
+	defer eFresh.Close()
+	pool := NewCollection(g)
+	fresh := NewCollection(g)
+
+	active := bitset.New(int(g.N()))
+	inactive := make([]int32, g.N())
+	for i := range inactive {
+		inactive[i] = int32(i)
+	}
+	// The trace: round 1 on the full graph, then v1 (id 0) observed
+	// active (the paper's Figure 1 round-2 state), then v3 (id 2) too.
+	observations := [][]int32{nil, {0}, {2}}
+
+	for round, delta := range observations {
+		for _, v := range delta {
+			active.Set(v)
+		}
+		out := inactive[:0]
+		for _, v := range inactive {
+			if !active.Get(v) {
+				out = append(out, v)
+			}
+		}
+		inactive = out
+		ni := int64(len(inactive))
+		etai := eta - (int64(g.N()) - ni)
+		if etai < 1 {
+			t.Fatalf("round %d: trace exhausted eta", round+1)
+		}
+
+		if round == 0 {
+			e.Generate(pool, Request{Strategy: strat, Inactive: inactive, Active: active,
+				EtaI: etai, Seed: seed, Count: draws})
+		} else {
+			advancePool(e, pool, strat, seed, inactive, active, etai, delta, draws)
+		}
+		freshPool(eFresh, fresh, strat, seed, inactive, active, etai, draws)
+		compareCollections(t, fmt.Sprintf("trace round %d", round+1), pool, fresh, g)
+
+		// Exact truncated marginal spreads on the materialized residual.
+		sub, mapping, err := g.Induce(inactive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := 1 - 1/2.718281828459045
+		for newID, oldID := range mapping {
+			exact, err := estimator.ExactTruncatedIC(sub, []int32{int32(newID)}, etai)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := float64(etai) * float64(pool.Coverage(oldID)) / draws
+			slack := 0.04 * maxf(1, exact)
+			if est > exact+slack {
+				t.Errorf("round %d v=%d: estimate %v exceeds exact %v", round+1, oldID, est, exact)
+			}
+			if est < lo*exact-slack {
+				t.Errorf("round %d v=%d: estimate %v below (1−1/e)·%v", round+1, oldID, est, exact)
+			}
+		}
+	}
 }

@@ -37,6 +37,12 @@ type Config struct {
 	// MaxSetsPerRound optionally caps the per-round sample pool
 	// (0 = the algorithm's θmax only).
 	MaxSetsPerRound int64
+	// DisablePoolReuse turns off cross-round sampling-pool reuse for the
+	// session's policy (it is on by default). Reuse scales a round's
+	// sampling cost with the observation's activation delta instead of
+	// θ_max; on or off, the proposed batches are identical — the knob only
+	// trades speed, and exists mainly for benchmarking the reuse win.
+	DisablePoolReuse bool
 	// Seed fixes the session's sampling randomness: equal configs propose
 	// equal batches under equal observations.
 	Seed uint64
@@ -95,7 +101,7 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	if eps == 0 {
 		eps = 0.5
 	}
-	policy, err := newPolicy(cfg.Policy, eps, cfg.Workers, cfg.MaxSetsPerRound)
+	policy, err := newPolicy(cfg.Policy, eps, cfg.Workers, cfg.MaxSetsPerRound, !cfg.DisablePoolReuse)
 	if err != nil {
 		return nil, err
 	}
@@ -179,20 +185,20 @@ func (m *Manager) List() []Status {
 }
 
 // newPolicy instantiates a fresh proposal policy by wire name.
-func newPolicy(name string, epsilon float64, workers int, maxSets int64) (adaptive.Policy, error) {
+func newPolicy(name string, epsilon float64, workers int, maxSets int64, reuse bool) (adaptive.Policy, error) {
 	switch {
 	case name == "" || strings.EqualFold(name, "ASTI"):
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true,
-			Workers: workers, MaxSetsPerRound: maxSets})
+			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse})
 	case strings.HasPrefix(strings.ToUpper(name), "ASTI-"):
 		b, err := strconv.Atoi(name[len("ASTI-"):])
 		if err != nil || b < 1 {
 			return nil, fmt.Errorf("serve: bad batch size in policy %q", name)
 		}
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true,
-			Workers: workers, MaxSetsPerRound: maxSets})
+			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse})
 	case strings.EqualFold(name, "AdaptIM"):
-		return baselines.NewAdaptIM(epsilon, maxSets, workers)
+		return baselines.NewAdaptIM(epsilon, maxSets, workers, reuse)
 	default:
 		return nil, fmt.Errorf("serve: unknown policy %q (ASTI, ASTI-<b>, AdaptIM)", name)
 	}

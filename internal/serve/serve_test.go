@@ -402,3 +402,40 @@ func TestObserveLenientAlreadyActive(t *testing.T) {
 		t.Errorf("total activated %d, want %d", p2.Activated, p1.Activated+1)
 	}
 }
+
+// TestSessionPoolReuseEquivalence pins the served determinism contract:
+// two sessions differing only in DisablePoolReuse propose identical
+// batches under identical observations — reuse is a speed knob, never a
+// semantics knob, end to end through the session service.
+func TestSessionPoolReuseEquivalence(t *testing.T) {
+	reg := testRegistry(t)
+	mgr := serve.NewManager(reg, 0)
+	defer mgr.CloseAll()
+	g, err := reg.Graph("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(41))
+
+	run := func(disable bool) []int32 {
+		s, err := mgr.Create(serve.Config{
+			Dataset: "test", Policy: "ASTI", Eta: int64(float64(g.N()) * 0.25),
+			Epsilon: 0.5, Workers: 1, Seed: 7, DisablePoolReuse: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		return drive(t, s, φ)
+	}
+	on := run(false)
+	off := run(true)
+	if len(on) != len(off) {
+		t.Fatalf("reuse on proposed %d seeds, off %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("proposal %d differs: %d with reuse vs %d without", i, on[i], off[i])
+		}
+	}
+}

@@ -83,6 +83,7 @@ type Session struct {
 	round    int
 	active   *bitset.Set
 	inactive []int32
+	delta    []int32 // nodes the last observation removed from inactive
 	pending  []int32
 	seeds    []int32
 	rounds   []adaptive.RoundTrace
@@ -170,6 +171,7 @@ func (s *Session) Propose() (Proposal, error) {
 		Eta:      s.eta,
 		Active:   s.active,
 		Inactive: s.inactive,
+		Delta:    s.delta,
 		Round:    s.round,
 		Rng:      s.src,
 	}
@@ -239,7 +241,7 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 	for _, v := range activated {
 		s.active.Set(v)
 	}
-	s.inactive = adaptive.CompactInactive(s.inactive, s.active)
+	s.inactive, s.delta = adaptive.CompactInactive(s.inactive, s.active)
 	newly := s.activatedLocked() - before
 	s.seeds = append(s.seeds, s.pending...)
 	s.rounds = append(s.rounds, adaptive.RoundTrace{

@@ -1,0 +1,181 @@
+package trim
+
+import (
+	"testing"
+
+	"asti/internal/adaptive"
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/rng"
+)
+
+// TestReuseEquivalence is the determinism contract of pool reuse: for
+// equal seeds and equal observations, the ReusePool and Reset paths must
+// select identical batches, for every worker count. Reuse may only change
+// speed, never output.
+func TestReuseEquivalence(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		Name: "reuse-eq", N: 1200, AvgDeg: 4, UniformMix: 0.4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.3)
+
+	type variant struct {
+		name      string
+		batch     int
+		truncated bool
+		model     diffusion.Model
+	}
+	variants := []variant{
+		{"ASTI-IC", 1, true, diffusion.IC},
+		{"ASTI-B4-IC", 4, true, diffusion.IC},
+		{"AdaptIM-IC", 1, false, diffusion.IC},
+		{"ASTI-LT", 1, true, diffusion.LT},
+	}
+	for _, v := range variants {
+		for _, workers := range []int{1, 4} {
+			run := func(reuse bool) ([][]int32, []int32) {
+				pol := MustNew(Config{
+					Epsilon: 0.5, Batch: v.batch, Truncated: v.truncated,
+					Workers: workers, ReusePool: reuse,
+				})
+				defer pol.Close()
+				var all [][]int32
+				var flat []int32
+				for w := 0; w < 2; w++ {
+					φ := diffusion.SampleRealization(g, v.model, rng.New(uint64(900+w)))
+					res, err := adaptive.Run(g, v.model, eta, pol, φ, rng.New(uint64(77+w)))
+					if err != nil {
+						t.Fatalf("%s workers=%d reuse=%v: %v", v.name, workers, reuse, err)
+					}
+					for _, tr := range res.Rounds {
+						all = append(all, tr.Seeds)
+					}
+					flat = append(flat, res.Seeds...)
+				}
+				return all, flat
+			}
+			onRounds, onSeeds := run(true)
+			offRounds, offSeeds := run(false)
+			if len(onSeeds) != len(offSeeds) {
+				t.Fatalf("%s workers=%d: %d seeds with reuse vs %d without",
+					v.name, workers, len(onSeeds), len(offSeeds))
+			}
+			for i := range onSeeds {
+				if onSeeds[i] != offSeeds[i] {
+					t.Fatalf("%s workers=%d: seed %d is %d with reuse vs %d without",
+						v.name, workers, i, onSeeds[i], offSeeds[i])
+				}
+			}
+			if len(onRounds) != len(offRounds) {
+				t.Fatalf("%s workers=%d: %d rounds with reuse vs %d without",
+					v.name, workers, len(onRounds), len(offRounds))
+			}
+			for r := range onRounds {
+				if len(onRounds[r]) != len(offRounds[r]) {
+					t.Fatalf("%s workers=%d round %d: batch size %d vs %d",
+						v.name, workers, r, len(onRounds[r]), len(offRounds[r]))
+				}
+				for j := range onRounds[r] {
+					if onRounds[r][j] != offRounds[r][j] {
+						t.Fatalf("%s workers=%d round %d: batch differs at %d",
+							v.name, workers, r, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReuseActuallyReuses guards the optimization itself: across a
+// multi-round campaign with reuse enabled, a substantial number of sets
+// must be carried over rather than regenerated (otherwise the prune path
+// silently degraded to full regeneration).
+func TestReuseActuallyReuses(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		Name: "reuse-win", N: 1200, AvgDeg: 4, UniformMix: 0.4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eta := int64(float64(g.N()) * 0.3)
+	pol := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true, Workers: 1, ReusePool: true})
+	defer pol.Close()
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(900))
+	res, err := adaptive.Run(g, diffusion.IC, eta, pol, φ, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 3 {
+		t.Skipf("campaign too short to test reuse (%d rounds)", len(res.Rounds))
+	}
+	if pol.Stats.SetsReused == 0 {
+		t.Fatalf("no sets reused across %d rounds (generated %d, full regens %d)",
+			len(res.Rounds), pol.Stats.Sets, pol.Stats.FullRegens)
+	}
+	if pol.Stats.SetsReused < pol.Stats.Sets/4 {
+		t.Errorf("reused only %d sets vs %d generated across %d rounds — prune path barely engaged",
+			pol.Stats.SetsReused, pol.Stats.Sets, len(res.Rounds))
+	}
+	if pol.Stats.PeakPoolSize == 0 {
+		t.Error("PeakPoolSize not recorded")
+	}
+}
+
+// TestReuseWithoutDeltaFallsBack drives SelectBatch directly with states
+// that never supply an activation delta: the policy must fall back to
+// full regeneration (correct output, FullRegens counted) instead of
+// trusting a stale pool.
+func TestReuseWithoutDeltaFallsBack(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		Name: "reuse-nodelta", N: 400, AvgDeg: 4, UniformMix: 0.4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(3))
+	eta := int64(120)
+
+	run := func(stripDelta bool) []int32 {
+		pol := MustNew(Config{Epsilon: 0.5, Batch: 1, Truncated: true, Workers: 1, ReusePool: true})
+		defer pol.Close()
+		wrapped := adaptive.Policy(pol)
+		if stripDelta {
+			wrapped = deltaStripper{pol}
+		}
+		res, err := adaptive.Run(g, diffusion.IC, eta, wrapped, φ, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stripDelta && pol.Stats.FullRegens == 0 && pol.Stats.Rounds > 1 {
+			t.Errorf("delta withheld but no full-regeneration fallback recorded")
+		}
+		return res.Seeds
+	}
+	withDelta := run(false)
+	withoutDelta := run(true)
+	if len(withDelta) != len(withoutDelta) {
+		t.Fatalf("withholding the delta changed the seed count: %d vs %d", len(withDelta), len(withoutDelta))
+	}
+	for i := range withDelta {
+		if withDelta[i] != withoutDelta[i] {
+			t.Fatalf("withholding the delta changed seed %d: %d vs %d", i, withDelta[i], withoutDelta[i])
+		}
+	}
+}
+
+// deltaStripper forwards SelectBatch with State.Delta removed, simulating
+// a host loop that cannot vouch for the activation delta.
+type deltaStripper struct {
+	pol *Policy
+}
+
+func (d deltaStripper) Name() string { return d.pol.Name() }
+func (d deltaStripper) Reset()       { d.pol.Reset() }
+func (d deltaStripper) SelectBatch(st *adaptive.State) ([]int32, error) {
+	clone := *st
+	clone.Delta = nil
+	return d.pol.SelectBatch(&clone)
+}

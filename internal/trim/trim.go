@@ -67,6 +67,20 @@ type Config struct {
 	// are identical for every setting (the engine seeds each set
 	// independently), so parallelism is purely a speed knob.
 	Workers int
+	// ReusePool carries the mRR pool across rounds: instead of resetting
+	// and regenerating up to θ_max sets per round, the policy prunes the
+	// sets invalidated by the activation delta (member hit, or root-count
+	// shift under the new n_i/η_i), regenerates exactly those in place,
+	// and tops the pool up to the round's target. Every pool position has
+	// a run-stable seed, so the reused pool is byte-identical to full
+	// regeneration: reuse changes speed, never output. The facade, serve
+	// and the CLIs enable it by default (asti.WithPoolReuse to opt out);
+	// the zero value keeps the Reset-per-round path.
+	//
+	// Reuse needs the activation delta (adaptive.State.Delta); when a host
+	// loop does not supply it the policy silently falls back to full
+	// regeneration for that round.
+	ReusePool bool
 	// NameOverride replaces the derived policy name when non-empty.
 	NameOverride string
 }
@@ -86,11 +100,25 @@ type Stats struct {
 	// HitCap counts rounds that exhausted T iterations without certifying
 	// the target ratio (the t = T fallback in Algorithm 2 Line 11).
 	HitCap int64
+	// SetsReused counts stored sets carried across a round boundary
+	// without regeneration (pool reuse only).
+	SetsReused int64
+	// SetsRefreshed counts stored sets regenerated in place by the prune
+	// path (they are also counted in Sets).
+	SetsRefreshed int64
+	// FullRegens counts reuse-enabled rounds that fell back to full
+	// regeneration (no usable delta, empty pool, or the stale fraction
+	// crossed the prune cutoff). The fallback produces the identical pool,
+	// just without the incremental savings.
+	FullRegens int64
+	// PeakPoolSize is the largest pool (set count) any round ended with.
+	PeakPoolSize int64
 }
 
-// Policy is a TRIM/TRIM-B adaptive policy. It is stateless across rounds
-// apart from instrumentation and reusable sampling machinery, so one value
-// may serve many runs sequentially (not concurrently).
+// Policy is a TRIM/TRIM-B adaptive policy. One value may serve many runs
+// sequentially (not concurrently); Reset — which every host loop applies
+// through adaptive.ResetPolicy — clears the cross-round pool state so each
+// run starts a fresh campaign.
 type Policy struct {
 	cfg  Config
 	name string
@@ -98,8 +126,30 @@ type Policy struct {
 	// graph/model and reused (with its worker pool and scratch) across
 	// rounds.
 	engine *rrset.Engine
-	// coll is the reusable mRR pool, Reset in O(touched) each round.
+	// coll is the reusable mRR pool: Reset in O(touched) each round, or —
+	// with ReusePool — pruned and topped up across rounds.
 	coll *rrset.Collection
+	// runSeed is the run's pool seed: position j of the pool always
+	// samples from SplitMix64(runSeed+j), in every round and both reuse
+	// modes. Drawn from the policy stream at the start of each run.
+	runSeed uint64
+	// lastRound/lastNi snapshot the previous SelectBatch, to detect run
+	// boundaries and validate the activation delta.
+	lastRound int
+	lastNi    int64
+	// lastPool is the pool size the previous round ended with: the next
+	// round warm-starts from max(θ_0, lastPool) (capped), skipping the
+	// part of the doubling ladder the previous round already climbed.
+	// Both reuse modes follow the same schedule — the value is part of
+	// the deterministic pool function, not a reuse-only shortcut.
+	lastPool int64
+	// fallbacks counts consecutive reuse rounds that fell back to full
+	// regeneration. Two strikes mean the campaign entered a regime where
+	// the pool churns wholesale (typically the late-η_i root-count
+	// shifts), so batch-size-1 rounds stop storing sets and revert to the
+	// cheaper counts-only generation — storage and counters never affect
+	// selections, only speed.
+	fallbacks int
 	// Stats accumulates instrumentation; callers may reset it between runs.
 	Stats Stats
 }
@@ -159,6 +209,27 @@ func (p *Policy) Close() {
 		p.engine = nil
 		p.coll = nil
 	}
+	p.lastRound, p.lastNi, p.lastPool, p.fallbacks = 0, 0, 0, 0
+}
+
+// Reset clears cross-run state (the carried pool and run-seed bookkeeping)
+// so the next SelectBatch starts a fresh campaign. Host loops invoke it
+// through adaptive.ResetPolicy; instrumentation and the sampling engine
+// survive.
+func (p *Policy) Reset() {
+	p.lastRound, p.lastNi, p.lastPool, p.fallbacks = 0, 0, 0, 0
+	if p.coll != nil {
+		p.coll.Reset()
+	}
+}
+
+// PoolSize returns the current mRR pool size in sets (0 before the first
+// round). Benchmarks read it between rounds to trace pool growth.
+func (p *Policy) PoolSize() int {
+	if p.coll == nil {
+		return 0
+	}
+	return p.coll.Size()
 }
 
 // strategy returns the configured root strategy.
@@ -169,17 +240,106 @@ func (p *Policy) strategy() rrset.RootStrategy {
 	return rrset.SingleRoot()
 }
 
+// reuseStaleCutoffPct is the stale-set percentage beyond which the prune
+// path abandons per-set surgery and falls back to a full regeneration.
+// Either way the resulting pool is identical; the cutoff only avoids
+// paying prune bookkeeping on rounds where almost everything was
+// invalidated anyway.
+const reuseStaleCutoffPct = 75
+
 // prepare points the reusable engine and collection at the round's
-// graph/model, replacing them if a previous run used a different graph.
-func (p *Policy) prepare(st *adaptive.State) {
+// graph/model (replacing them if a previous run used a different graph)
+// and brings the pool to the round's starting target: a fresh generation
+// of positions [0, target) after Reset, or — on reuse rounds — a prune of
+// the carried pool plus an in-place refresh and top-up to the same
+// positions. Both paths produce the identical pool; fresh reports whether
+// this SelectBatch starts a new run (the caller must have drawn runSeed
+// for fresh rounds beforehand). It returns true when the carried pool was
+// reused — the round must then keep storing sets (the pool stays
+// prunable), so the caller disables countsOnly for its doublings.
+func (p *Policy) prepare(st *adaptive.State, target int64, countsOnly bool, fresh bool) bool {
 	if p.engine == nil || p.engine.Graph() != st.G || p.engine.Model() != st.Model {
 		if p.engine != nil {
 			p.engine.Close()
 		}
 		p.engine = rrset.NewEngine(st.G, st.Model, p.cfg.Workers)
 		p.coll = rrset.NewCollection(st.G)
+		fresh = true
+	}
+	if p.cfg.ReusePool && !fresh && p.reusePool(st, target) {
+		p.fallbacks = 0
+		p.generate(st, target, false)
+		return true
+	}
+	// Once degraded to counts-only (fallbacks == 2) the empty stored pool
+	// makes reusePool fail by design; stop counting those rounds as
+	// fallbacks so Stats.FullRegens means "pruning was tried and lost".
+	if p.cfg.ReusePool && !fresh && p.fallbacks < 2 {
+		p.Stats.FullRegens++
+		p.fallbacks++
 	}
 	p.coll.Reset()
+	p.generate(st, target, countsOnly)
+	return false
+}
+
+// reusePool prunes the pool carried from the previous round down to the
+// sets still valid for this round's residual graph and regenerates the
+// invalidated ones in place. It reports false when the pool must instead
+// be rebuilt from scratch (missing/inconsistent delta, empty pool, or
+// stale fraction beyond the cutoff) — the caller then takes the Reset
+// path, which yields the identical pool.
+func (p *Policy) reusePool(st *adaptive.State, target int64) bool {
+	delta := st.Delta
+	ni := st.Ni()
+	// A nil delta is fine as long as the residual truly did not change
+	// (a no-op observation: n_i equal implies η_i equal, so no set can
+	// have gone stale); otherwise the change is unaccounted for and the
+	// pool cannot be trusted.
+	if p.lastNi-int64(len(delta)) != ni {
+		return false
+	}
+	if p.coll.Stored() == 0 || p.coll.Stored() != p.coll.Size() {
+		return false // nothing stored to reuse (e.g. counts-only history)
+	}
+	if int64(p.coll.Stored()) > target {
+		// A fresh pool would start at the round target; shed the excess so
+		// reuse stays invisible in the output (doubling regrows the same
+		// positions if the bounds ask for them again).
+		p.coll.Truncate(int(target))
+	}
+	stored := p.coll.Stored()
+	etai := st.EtaI()
+	strat := p.strategy()
+	stale := p.coll.Prune(delta, func(id, rootK int32) bool {
+		if !strat.Multi() {
+			return false // single-root: k is always 1
+		}
+		if rootK == 0 {
+			return true // unknown provenance
+		}
+		k := strat.RootSizeAt(p.runSeed, int64(id), ni, etai)
+		// A changed root count changes the set; k == n_i would switch the
+		// sampler to the enumerate-all-roots path, whose output depends on
+		// the inactive list layout — regenerate rather than reason about it.
+		return int64(k) >= ni || k != int(rootK)
+	})
+	if len(stale)*100 >= stored*reuseStaleCutoffPct {
+		return false
+	}
+	gs := p.engine.Refresh(p.coll, rrset.Request{
+		Strategy: strat,
+		Inactive: st.Inactive,
+		Active:   st.Active,
+		EtaI:     etai,
+		Seed:     p.runSeed,
+	}, stale)
+	p.Stats.Sets += gs.Sets
+	p.Stats.SetNodes += gs.SetNodes
+	p.Stats.EdgesExamined += gs.EdgesExamined
+	p.Stats.SetsRefreshed += int64(len(stale))
+	p.Stats.SetsReused += int64(stored - len(stale))
+	return true
 }
 
 // SelectBatch implements adaptive.Policy: one round of truncated (or
@@ -194,6 +354,24 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 		return nil, errors.New("trim: threshold already reached")
 	}
 	p.Stats.Rounds++
+
+	// fresh marks the start of a new run (first call after Reset, or a
+	// round sequence the policy cannot account for): the pool seed is
+	// redrawn and the pool rebuilt. The detection uses only values equal
+	// in both reuse modes, so the policy-stream consumption — and hence
+	// every selection — is identical with reuse on or off.
+	fresh := p.lastRound == 0 || st.Round != p.lastRound+1
+	if fresh {
+		p.runSeed = st.Rng.Uint64()
+		p.lastPool = 0
+	}
+	p.lastRound = st.Round
+	defer func() {
+		p.lastNi = st.Ni()
+		if p.coll != nil {
+			p.lastPool = int64(p.coll.Size())
+		}
+	}()
 
 	b := p.cfg.Batch
 	if int64(b) > ni {
@@ -239,14 +417,30 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 		cap64 = p.cfg.MaxSetsPerRound
 	}
 
-	p.prepare(st)
-	coll := p.coll
-	countsOnly := b == 1
+	// Counts-only pools cannot be pruned (no stored sets to keep), so the
+	// reuse path stores sets even at batch size 1; the coverage counts —
+	// all the b == 1 selection reads — are identical either way. After
+	// two consecutive full-regeneration fallbacks the policy stops paying
+	// for storage it cannot exploit and degrades to counts-only for the
+	// rest of the run.
+	countsOnly := b == 1 && (!p.cfg.ReusePool || p.fallbacks >= 2)
 	target := int64(math.Ceil(theta0))
+	// Warm start: pick up at the pool size the previous round certified
+	// with, instead of re-climbing the doubling ladder from θ_0. The
+	// martingale bounds only tighten with more samples, and the schedule
+	// is shared by both reuse modes (lastPool is identical in both), so
+	// warm-starting never changes the selected seeds — it removes the
+	// early doubling iterations reuse would otherwise regenerate.
+	if target < p.lastPool && !fresh {
+		target = p.lastPool
+	}
 	if target > cap64 {
 		target = cap64
 	}
-	p.generate(st, target, countsOnly)
+	if p.prepare(st, target, countsOnly, fresh) {
+		countsOnly = false // reused pools stay stored through the doublings
+	}
+	coll := p.coll
 
 	for t := 1; ; t++ {
 		var seeds []int32
@@ -265,10 +459,12 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 		lower := stats.CoverageLower(float64(covered), a1)
 		upper := stats.CoverageUpper(float64(covered)/rhoB, a2)
 		if upper > 0 && lower/upper >= rhoB*(1-epsHat) {
+			p.notePool()
 			return seeds, nil
 		}
 		if t >= T || int64(coll.Size()) >= cap64 {
 			p.Stats.HitCap++
+			p.notePool()
 			return seeds, nil
 		}
 		// Double the pool (Algorithm 2/3 Line 12).
@@ -283,8 +479,10 @@ func (p *Policy) SelectBatch(st *adaptive.State) ([]int32, error) {
 
 // generate grows the pool to the requested number of sets through the
 // shared engine. countsOnly skips set storage (batch size 1 needs only the
-// coverage counts). One Uint64 is drawn from the policy stream per batch;
-// everything below it is seeded per set.
+// coverage counts). Pool position j always samples from
+// SplitMix64(runSeed+j) — the position-stable seeding that makes pools a
+// pure function of (runSeed, residual, size), independent of how they were
+// built.
 func (p *Policy) generate(st *adaptive.State, total int64, countsOnly bool) {
 	need := total - int64(p.coll.Size())
 	if need <= 0 {
@@ -296,10 +494,18 @@ func (p *Policy) generate(st *adaptive.State, total int64, countsOnly bool) {
 		Active:     st.Active,
 		EtaI:       st.EtaI(),
 		Count:      int(need),
-		Seed:       st.Rng.Uint64(),
+		Seed:       p.runSeed,
+		FirstIndex: int64(p.coll.Size()),
 		CountsOnly: countsOnly,
 	})
 	p.Stats.Sets += gs.Sets
 	p.Stats.SetNodes += gs.SetNodes
 	p.Stats.EdgesExamined += gs.EdgesExamined
+}
+
+// notePool records the round's final pool size in the peak statistic.
+func (p *Policy) notePool() {
+	if s := int64(p.coll.Size()); s > p.Stats.PeakPoolSize {
+		p.Stats.PeakPoolSize = s
+	}
 }
