@@ -16,9 +16,9 @@
 //	curl -s localhost:8080/v1/sessions/s1
 //	curl -s -X DELETE localhost:8080/v1/sessions/s1
 //
-// Endpoints:
+// Endpoints (full reference: docs/API.md):
 //
-//	GET    /healthz                   liveness probe
+//	GET    /healthz                   liveness probe + recovery stats
 //	GET    /v1/datasets               registered dataset names
 //	POST   /v1/sessions               create a session
 //	GET    /v1/sessions               list open sessions
@@ -29,7 +29,14 @@
 //
 // Sessions are deterministic per seed: two sessions created with equal
 // bodies propose identical batches under identical observations. SIGINT
-// or SIGTERM drains in-flight requests and closes every session.
+// or SIGTERM drains in-flight requests and releases every session.
+//
+// With -journal-dir set, sessions are durable: every state transition is
+// write-ahead journaled (fsynced) before it is acknowledged, and on boot
+// the server replays the directory's logs through the deterministic
+// engine, resuming every session — even after a SIGKILL mid-round —
+// exactly where its last acknowledged transition left it (docs/
+// OPERATIONS.md describes the recovery procedure and directory layout).
 package main
 
 import (
@@ -53,15 +60,16 @@ func main() {
 		scale       = flag.Float64("scale", 0.2, "generation scale (0,1] for the synthetic datasets")
 		graphPath   = flag.String("graph", "", "also register a graph from an edge-list file (name 'custom')")
 		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions (0 = unlimited)")
+		journalDir  = flag.String("journal-dir", "", "write-ahead-journal directory for durable sessions (empty = in-memory only)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *graphPath, *maxSessions); err != nil {
+	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir); err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, scale float64, graphPath string, maxSessions int) error {
+func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string) error {
 	reg := serve.NewSyntheticRegistry(scale)
 	if graphPath != "" {
 		if err := reg.RegisterLoader("custom", func() (*graph.Graph, error) {
@@ -73,9 +81,23 @@ func run(addr string, scale float64, graphPath string, maxSessions int) error {
 	mgr := serve.NewManager(reg, maxSessions)
 	defer mgr.CloseAll()
 
+	recovered := 0
+	if journalDir != "" {
+		rep, err := mgr.Recover(journalDir)
+		if err != nil {
+			return err
+		}
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(os.Stderr, "asmserve: journal: %s\n", w)
+		}
+		recovered = rep.Recovered
+		fmt.Printf("asmserve: journal %s: recovered %d session(s), %d closed, %d skipped, %d round(s) replayed\n",
+			journalDir, rep.Recovered, rep.Closed, rep.Skipped, rep.Rounds)
+	}
+
 	srv := &http.Server{
 		Addr:        addr,
-		Handler:     newHandler(mgr),
+		Handler:     newHandler(mgr, recovered),
 		ReadTimeout: 30 * time.Second,
 	}
 

@@ -30,7 +30,7 @@ func testServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	mgr := serve.NewManager(reg, 16)
-	ts := httptest.NewServer(newHandler(mgr))
+	ts := httptest.NewServer(newHandler(mgr, 0))
 	t.Cleanup(func() {
 		ts.Close()
 		mgr.CloseAll()
@@ -68,9 +68,12 @@ func call(t *testing.T, method, url string, body, out any) int {
 func TestRoundTrip(t *testing.T) {
 	ts := testServer(t)
 
-	var health map[string]bool
-	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || !health["ok"] {
-		t.Fatalf("healthz: code %d body %v", code, health)
+	var health healthResponse
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 || !health.OK {
+		t.Fatalf("healthz: code %d body %+v", code, health)
+	}
+	if health.Journal || health.RecoveredSessions != 0 || health.Sessions != 0 {
+		t.Fatalf("in-memory healthz %+v", health)
 	}
 	var datasets map[string][]string
 	if code := call(t, "GET", ts.URL+"/v1/datasets", nil, &datasets); code != 200 {
@@ -213,6 +216,101 @@ func TestCreateErrors(t *testing.T) {
 	}
 }
 
+// TestRestartRecovery is the HTTP-level kill-and-restart test: a
+// journaled session driven over one server instance, whose process
+// "dies" (the manager is abandoned un-closed, as SIGKILL leaves it),
+// resumes on a second instance over the same journal directory with
+// identical status and keeps proposing.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	newInstance := func(recover bool) (*httptest.Server, *serve.Manager, int) {
+		reg := serve.NewRegistry()
+		err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+			spec, err := gen.Dataset("synth-nethept")
+			if err != nil {
+				return nil, err
+			}
+			return spec.Generate(0.05)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := serve.NewManager(reg, 16, serve.WithJournalDir(dir))
+		recovered := 0
+		if recover {
+			rep, err := mgr.Recover("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered = rep.Recovered
+		}
+		ts := httptest.NewServer(newHandler(mgr, recovered))
+		t.Cleanup(ts.Close)
+		return ts, mgr, recovered
+	}
+
+	// First life: create a session and run two rounds.
+	ts1, _, _ := newInstance(false)
+	var st statusResponse
+	if code := call(t, "POST", ts1.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 11, Workers: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	if !st.Durable {
+		t.Fatalf("journaled session not durable: %+v", st)
+	}
+	base1 := ts1.URL + "/v1/sessions/" + st.ID
+	for r := 0; r < 2; r++ {
+		var batch batchResponse
+		if code := call(t, "POST", base1+"/next", nil, &batch); code != 200 {
+			t.Fatalf("next: code %d", code)
+		}
+		var prog progressResponse
+		if code := call(t, "POST", base1+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+			t.Fatalf("observe: code %d", code)
+		}
+		if prog.Done {
+			t.Skip("campaign finished before the crash point")
+		}
+	}
+	var before statusResponse
+	if code := call(t, "GET", base1, nil, &before); code != 200 {
+		t.Fatalf("status: code %d", code)
+	}
+	ts1.Close() // the "crash": no DELETE, no CloseAll
+
+	// Second life: recover and compare.
+	ts2, _, recovered := newInstance(true)
+	if recovered != 1 {
+		t.Fatalf("recovered %d sessions, want 1", recovered)
+	}
+	var health healthResponse
+	if code := call(t, "GET", ts2.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: code %d", code)
+	}
+	if !health.Journal || health.RecoveredSessions != 1 || health.Sessions != 1 {
+		t.Fatalf("healthz after recovery %+v", health)
+	}
+	var after statusResponse
+	if code := call(t, "GET", ts2.URL+"/v1/sessions/"+before.ID, nil, &after); code != 200 {
+		t.Fatalf("status after restart: code %d", code)
+	}
+	// Identical status up to SelectSeconds (replay re-runs selection, so
+	// the timing differs; everything the client observes must not).
+	before.SelectSeconds, after.SelectSeconds = 0, 0
+	if fmt.Sprintf("%+v", before) != fmt.Sprintf("%+v", after) {
+		t.Errorf("status diverged across restart:\n before %+v\n after  %+v", before, after)
+	}
+	// The session keeps working.
+	var batch batchResponse
+	if code := call(t, "POST", ts2.URL+"/v1/sessions/"+before.ID+"/next", nil, &batch); code != 200 {
+		t.Fatalf("next after restart: code %d", code)
+	}
+	if len(batch.Seeds) == 0 || batch.Round != before.Round+1 {
+		t.Errorf("post-restart batch %+v", batch)
+	}
+}
+
 // TestDatasetLoadFailure maps loader errors (a server-side problem) to
 // 500, not to the 400 class reserved for caller mistakes.
 func TestDatasetLoadFailure(t *testing.T) {
@@ -223,7 +321,7 @@ func TestDatasetLoadFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgr := serve.NewManager(reg, 4)
-	ts := httptest.NewServer(newHandler(mgr))
+	ts := httptest.NewServer(newHandler(mgr, 0))
 	defer ts.Close()
 	var errBody errorResponse
 	if code := call(t, "POST", ts.URL+"/v1/sessions",

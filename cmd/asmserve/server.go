@@ -41,7 +41,21 @@ type statusResponse struct {
 	Activated     int64   `json:"activated"`
 	EtaI          int64   `json:"eta_i"`
 	Done          bool    `json:"done"`
+	Durable       bool    `json:"durable"`
 	SelectSeconds float64 `json:"select_seconds"`
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	OK bool `json:"ok"`
+	// Sessions is the number of currently open sessions.
+	Sessions int `json:"sessions"`
+	// Journal reports whether sessions are write-ahead journaled
+	// (-journal-dir was set).
+	Journal bool `json:"journal"`
+	// RecoveredSessions counts sessions rebuilt from the journal when
+	// this process booted.
+	RecoveredSessions int `json:"recovered_sessions"`
 }
 
 // batchResponse is the body of POST /v1/sessions/{id}/next.
@@ -72,10 +86,16 @@ type errorResponse struct {
 }
 
 // newHandler builds the asmserve route table over one session manager.
-func newHandler(mgr *serve.Manager) http.Handler {
+// recovered is the boot-time recovery count reported by /healthz.
+func newHandler(mgr *serve.Manager, recovered int) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		writeJSON(w, http.StatusOK, healthResponse{
+			OK:                true,
+			Sessions:          mgr.Count(),
+			Journal:           mgr.Journaled(),
+			RecoveredSessions: recovered,
+		})
 	})
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"datasets": mgr.Registry().Names()})
@@ -231,6 +251,7 @@ func toStatusResponse(st serve.Status) statusResponse {
 		Activated:     st.Activated,
 		EtaI:          st.EtaI,
 		Done:          st.Done,
+		Durable:       st.Durable,
 		SelectSeconds: st.SelectSeconds,
 	}
 }

@@ -27,7 +27,7 @@ func Experiments() []string {
 		"ablation-rounding", "ablation-batch", "ablation-truncated",
 		"ablation-scaling", "ablation-adaptivity", "ablation-vaswani",
 		"ablation-weighting", "ablation-imsolvers",
-		"parallel-speedup", "serve-throughput", "trim",
+		"parallel-speedup", "serve-throughput", "serve-recovery", "trim",
 		"export-ic", "export-lt", "export-csv-ic", "export-csv-lt",
 	}
 }
@@ -39,8 +39,9 @@ type Runner struct {
 	Profile  Profile
 	Progress io.Writer // nil silences progress lines
 	// BenchDir, when non-empty, receives machine-readable
-	// BENCH_<experiment>.json files from perf experiments ("trim"), so
-	// the perf trajectory can be tracked PR-over-PR.
+	// BENCH_<experiment>.json files from perf experiments ("trim" →
+	// BENCH_trim.json, "serve-recovery" → BENCH_serve.json), so the perf
+	// trajectory can be tracked PR-over-PR.
 	BenchDir string
 
 	sweeps map[diffusion.Model]*Sweep
@@ -148,6 +149,8 @@ func (r *Runner) Run(id string, w io.Writer) error {
 		return r.parallelSpeedup(w)
 	case "serve-throughput":
 		return r.serveThroughput(w)
+	case "serve-recovery":
+		return r.serveRecovery(w)
 	case "trim":
 		return r.trimReuse(w)
 	case "export-ic", "export-lt":

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"text/tabwriter"
+	"time"
+
+	"asti/internal/diffusion"
+	"asti/internal/gen"
+	"asti/internal/graph"
+	"asti/internal/rng"
+	"asti/internal/serve"
+)
+
+// StepLatency summarizes one mode's per-step (NextBatch+Observe) latency.
+type StepLatency struct {
+	// Mode is "memory" or "journal".
+	Mode string `json:"mode"`
+	// Steps counts measured steps.
+	Steps int `json:"steps"`
+	// P50Seconds / P99Seconds are step-latency percentiles.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// MeanSeconds is the mean step latency.
+	MeanSeconds float64 `json:"mean_seconds"`
+}
+
+// RecoveryPoint is the measured recovery latency at one campaign length.
+type RecoveryPoint struct {
+	// Rounds is how many committed rounds the journal held.
+	Rounds int `json:"rounds"`
+	// Trials is the number of kill-and-recover repetitions.
+	Trials int `json:"trials"`
+	// P50Seconds / P99Seconds are Recover-call latency percentiles
+	// across trials.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// Identical reports the acceptance check: every trial's recovered
+	// session proposed the byte-identical next batch to an uninterrupted
+	// session at the same point.
+	Identical bool `json:"identical_next_batch"`
+}
+
+// ServePerfReport is the machine-readable result of the serve-recovery
+// experiment (BENCH_serve.json): what durability costs per step and what
+// recovery costs per journaled round.
+type ServePerfReport struct {
+	Experiment string  `json:"experiment"`
+	Profile    string  `json:"profile"`
+	Dataset    string  `json:"dataset"`
+	Model      string  `json:"model"`
+	N          int64   `json:"n"`
+	Eta        int64   `json:"eta"`
+	Epsilon    float64 `json:"epsilon"`
+	// Steps compares per-step latency with and without the journal on
+	// otherwise identical sessions fed identical observations.
+	Steps []StepLatency `json:"steps"`
+	// OverheadP50Seconds is the p50 journal write overhead per step
+	// (journal p50 − memory p50).
+	OverheadP50Seconds float64 `json:"overhead_p50_seconds"`
+	// IdenticalSelections reports that journaled and in-memory sessions
+	// proposed identical seed sequences (durability is semantics-free).
+	IdenticalSelections bool `json:"identical_selections"`
+	// Recovery is the recovery-latency curve vs rounds replayed.
+	Recovery []RecoveryPoint `json:"recovery"`
+}
+
+// serveRecovery measures the durable-session subsystem: the per-step
+// cost of write-ahead journaling (fsync per transition) and the
+// p50/p99 latency of Manager.Recover as a function of how many rounds
+// the journal holds, verifying after every recovery that the resumed
+// session proposes the byte-identical next batch to an uninterrupted
+// run. Machine-readable as BENCH_serve.json when BenchDir is set.
+func (r *Runner) serveRecovery(w io.Writer) error {
+	spec, err := gen.Dataset("synth-nethept")
+	if err != nil {
+		return err
+	}
+	g, err := spec.Generate(r.Profile.scaleFor(spec.Name))
+	if err != nil {
+		return err
+	}
+	reg := serve.NewRegistry()
+	if err := reg.RegisterGraph(spec.Name, g); err != nil {
+		return err
+	}
+	eta := etaFor(g, 0.1)
+	cfg := serve.Config{Dataset: spec.Name, Eta: eta, Epsilon: r.Profile.Epsilon,
+		Workers: 1, MaxSetsPerRound: r.Profile.MaxSetsPerRound, Seed: r.Profile.Seed}
+	fmt.Fprintf(w, "# Serve recovery — journal overhead and replay latency on %s (n=%d), IC, η=%d\n",
+		g.Name(), g.N(), eta)
+
+	// Per-step overhead: identical campaigns (same seed, same world),
+	// with and without a journal.
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed^0x77A1))
+	runMode := func(journaled bool) (StepLatency, []int32, error) {
+		mode := "memory"
+		var opts []serve.ManagerOption
+		var dir string
+		if journaled {
+			mode = "journal"
+			d, err := os.MkdirTemp("", "asti-bench-wal")
+			if err != nil {
+				return StepLatency{}, nil, err
+			}
+			dir = d
+			opts = append(opts, serve.WithJournalDir(dir))
+		}
+		mgr := serve.NewManager(reg, 0, opts...)
+		defer func() {
+			mgr.CloseAll()
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+		}()
+		s, err := mgr.Create(cfg)
+		if err != nil {
+			return StepLatency{}, nil, err
+		}
+		var seeds []int32
+		lats, err := driveSessionInto(s, φ, &seeds)
+		if err != nil {
+			return StepLatency{}, nil, err
+		}
+		var total float64
+		fl := make([]float64, len(lats))
+		for i, d := range lats {
+			fl[i] = d.Seconds()
+			total += d.Seconds()
+		}
+		sl := StepLatency{Mode: mode, Steps: len(lats),
+			P50Seconds: percentileF(fl, 0.50), P99Seconds: percentileF(fl, 0.99)}
+		if len(lats) > 0 {
+			sl.MeanSeconds = total / float64(len(lats))
+		}
+		return sl, seeds, nil
+	}
+	mem, memSeeds, err := runMode(false)
+	if err != nil {
+		return err
+	}
+	jrn, jrnSeeds, err := runMode(true)
+	if err != nil {
+		return err
+	}
+	identical := slices.Equal(memSeeds, jrnSeeds)
+
+	// Recovery latency vs rounds replayed: journal exactly R committed
+	// rounds (batch-only observations keep R controllable), kill, time
+	// Recover, check the next proposal against an uninterrupted session.
+	const trials = 3
+	points := []int{2, 5, 10}
+	var curve []RecoveryPoint
+	for _, rounds := range points {
+		pt, err := recoveryPoint(reg, cfg, g, rounds, trials)
+		if err != nil {
+			return err
+		}
+		curve = append(curve, *pt)
+	}
+
+	rep := &ServePerfReport{
+		Experiment:          "serve",
+		Profile:             r.Profile.Name,
+		Dataset:             g.Name(),
+		Model:               diffusion.IC.String(),
+		N:                   int64(g.N()),
+		Eta:                 eta,
+		Epsilon:             r.Profile.Epsilon,
+		Steps:               []StepLatency{mem, jrn},
+		OverheadP50Seconds:  jrn.P50Seconds - mem.P50Seconds,
+		IdenticalSelections: identical,
+		Recovery:            curve,
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tsteps\tp50 step\tp99 step\tmean step")
+	for _, sl := range rep.Steps {
+		fmt.Fprintf(tw, "%s\t%d\t%.3gs\t%.3gs\t%.3gs\n", sl.Mode, sl.Steps, sl.P50Seconds, sl.P99Seconds, sl.MeanSeconds)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "journal overhead: %+.3gs per step (p50); selections identical: %v\n",
+		rep.OverheadP50Seconds, identical)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rounds replayed\ttrials\tp50 recovery\tp99 recovery\tidentical next batch")
+	allIdentical := identical
+	for _, pt := range rep.Recovery {
+		fmt.Fprintf(tw, "%d\t%d\t%.3gs\t%.3gs\t%v\n", pt.Rounds, pt.Trials, pt.P50Seconds, pt.P99Seconds, pt.Identical)
+		allIdentical = allIdentical && pt.Identical
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !allIdentical {
+		return fmt.Errorf("bench: recovered sessions diverged from uninterrupted runs")
+	}
+	if r.BenchDir != "" {
+		if err := writeBenchFile(r.BenchDir, rep.Experiment, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", benchPath(r.BenchDir, rep.Experiment))
+	}
+	return nil
+}
+
+// recoveryPoint runs `trials` independent kill-and-recover cycles, each
+// journaling exactly `rounds` committed rounds before the "kill"
+// (abandoning the manager un-closed, as SIGKILL leaves it), and times
+// Manager.Recover. Every recovered session's next proposal is verified
+// against an uninterrupted reference session at the same point.
+func recoveryPoint(reg *serve.Registry, cfg serve.Config, g *graph.Graph, rounds, trials int) (*RecoveryPoint, error) {
+	// Uninterrupted reference: same config, same batch-only observations.
+	refMgr := serve.NewManager(reg, 0)
+	defer refMgr.CloseAll()
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := driveBatchOnly(ref, rounds); err != nil {
+		return nil, err
+	}
+	wantNext, err := ref.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &RecoveryPoint{Rounds: rounds, Trials: trials, Identical: true}
+	lats := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		lat, got, err := killAndRecover(reg, cfg, rounds)
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, lat)
+		if !slices.Equal(got, wantNext) {
+			pt.Identical = false
+		}
+	}
+	pt.P50Seconds = percentileF(lats, 0.50)
+	pt.P99Seconds = percentileF(lats, 0.99)
+	return pt, nil
+}
+
+// killAndRecover journals one campaign for `rounds` rounds, abandons it,
+// recovers into a fresh manager, and returns the Recover latency plus
+// the recovered session's next proposed batch.
+func killAndRecover(reg *serve.Registry, cfg serve.Config, rounds int) (float64, []int32, error) {
+	dir, err := os.MkdirTemp("", "asti-bench-recover")
+	if err != nil {
+		return 0, nil, err
+	}
+	defer os.RemoveAll(dir)
+	mgr := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+	s, err := mgr.Create(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := driveBatchOnly(s, rounds); err != nil {
+		return 0, nil, err
+	}
+	id := s.ID()
+	// CloseAll releases the policy's worker pool without writing closed
+	// records, so the on-disk journal is byte-identical to what a SIGKILL
+	// would leave — no resource leak, same recovery input.
+	mgr.CloseAll()
+
+	m := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+	defer m.CloseAll()
+	t0 := time.Now()
+	rep, err := m.Recover("")
+	lat := time.Since(t0).Seconds()
+	if err != nil {
+		return 0, nil, err
+	}
+	if rep.Recovered != 1 {
+		return 0, nil, fmt.Errorf("bench: recovered %d sessions, want 1 (warnings: %v)", rep.Recovered, rep.Warnings)
+	}
+	rs, err := m.Session(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	got, err := rs.NextBatch()
+	if err != nil {
+		return 0, nil, err
+	}
+	return lat, got, nil
+}
+
+// driveBatchOnly steps a session `rounds` times with observations that
+// activate exactly the proposed batch (the smallest campaign that still
+// advances every round).
+func driveBatchOnly(s *serve.Session, rounds int) error {
+	for r := 0; r < rounds; r++ {
+		batch, err := s.NextBatch()
+		if err != nil {
+			return err
+		}
+		if _, err := s.Observe(batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}

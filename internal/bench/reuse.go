@@ -98,20 +98,33 @@ type SmallDeltaPerf struct {
 	Identical     bool    `json:"identical_selections"`
 }
 
-// writeBenchJSON writes the report into dir as BENCH_<experiment>.json.
-func writeBenchJSON(dir string, rep *PerfReport) error {
-	path := filepath.Join(dir, "BENCH_"+rep.Experiment+".json")
-	f, err := os.Create(path)
+// benchPath is the machine-readable result path for an experiment.
+func benchPath(dir, experiment string) string {
+	return filepath.Join(dir, "BENCH_"+experiment+".json")
+}
+
+// writeBenchFile writes any perf report into dir (created if needed) as
+// BENCH_<experiment>.json.
+func writeBenchFile(dir, experiment string, v any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(benchPath(dir, experiment))
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
+}
+
+// writeBenchJSON writes the report into dir as BENCH_<experiment>.json.
+func writeBenchJSON(dir string, rep *PerfReport) error {
+	return writeBenchFile(dir, rep.Experiment, rep)
 }
 
 // roundRecorder wraps a trim policy to trace per-round selection latency

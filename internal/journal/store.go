@@ -1,0 +1,208 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// walExt is the per-session log file suffix.
+const walExt = ".wal"
+
+// Store manages the per-session logs of one journal directory: one
+// `<session-id>.wal` file per session. A Store is safe for concurrent
+// use; each session's Writer serializes its own appends.
+type Store struct {
+	dir string
+}
+
+// Open returns a store over dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// path returns the log file path for a session id.
+func (st *Store) path(id string) string {
+	return filepath.Join(st.dir, id+walExt)
+}
+
+// Sessions returns the ids with a log file in the store, sorted.
+func (st *Store) Sessions() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, walExt) {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, walExt))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Create opens a fresh log for a new session id. It fails if a log for
+// the id already exists — ids are never reused within one directory.
+// The directory entry is fsynced before Create returns, so the file
+// itself (not just its future contents) survives a power failure.
+func (st *Store) Create(id string) (*Writer, error) {
+	f, err := os.OpenFile(st.path(id), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := st.syncDir(); err != nil {
+		f.Close()
+		_ = os.Remove(st.path(id))
+		return nil, err
+	}
+	return &Writer{f: f}, nil
+}
+
+// syncDir fsyncs the store directory, making dirent changes (log
+// creation, removal) durable against power loss.
+func (st *Store) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", st.dir, err)
+	}
+	return nil
+}
+
+// Load reads a session's log without touching the file: the valid record
+// prefix, plus a non-nil tailErr describing why the scan stopped early
+// (torn tail or corrupt frame; see Scan).
+func (st *Store) Load(id string) (recs []Record, tailErr error, err error) {
+	data, err := os.ReadFile(st.path(id))
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, _, tailErr = Scan(data)
+	return recs, tailErr, nil
+}
+
+// Resumed is the result of reopening a session's log after a restart.
+type Resumed struct {
+	// Writer is positioned after the last valid record.
+	Writer *Writer
+	// Records is the surviving record prefix.
+	Records []Record
+	// TailErr describes the torn or corrupt tail that was truncated away
+	// (nil for a log that ended cleanly on a frame boundary; see Scan).
+	TailErr error
+}
+
+// Resume reopens a session's log for appending after a restart: it scans
+// the file, truncates any torn or corrupt tail back to the last valid
+// frame, and returns the surviving records together with a writer
+// positioned at their end.
+func (st *Store) Resume(id string) (*Resumed, error) {
+	path := st.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, valid, tailErr := Scan(data)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if tailErr != nil {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating %s to %d bytes: %w", path, valid, err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Resumed{Writer: &Writer{f: f}, Records: recs, TailErr: tailErr}, nil
+}
+
+// Remove deletes a session's log (after a deliberate close — the
+// campaign is over and there is nothing left to recover). The unlink is
+// fsynced; losing it to a power failure would only resurrect a log
+// whose closed record makes the next recovery delete it again.
+func (st *Store) Remove(id string) error {
+	if err := os.Remove(st.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return st.syncDir()
+}
+
+// Writer appends committed records to one session's log. Append is the
+// commit point: it frames, writes and fsyncs before returning, so a
+// record that Append acknowledged survives an immediate process kill.
+// A Writer is safe for concurrent use.
+type Writer struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// Append frames one record (type + JSON-encoded body v, nil for closed
+// records), writes it, and syncs the file. On a write or sync error the
+// record must be considered not committed.
+func (w *Writer) Append(t Type, v any) error {
+	frame, err := Marshal(t, v)
+	if err != nil {
+		return err
+	}
+	return w.AppendFrame(frame)
+}
+
+// AppendFrame writes and syncs an already-Marshaled frame. Callers that
+// need to distinguish encoding failures (the caller's record, nothing
+// touched disk) from commit failures (the log is in doubt) Marshal
+// first and hand the frame here.
+func (w *Writer) AppendFrame(frame []byte) error {
+	t := Type(0)
+	if len(frame) > headerLen {
+		t = Type(frame[headerLen])
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("journal: writer closed")
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append %s: %w", t, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync %s: %w", t, err)
+	}
+	return nil
+}
+
+// Close releases the log file handle. The log itself stays on disk;
+// use Store.Remove to delete it. Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}

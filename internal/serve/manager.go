@@ -11,6 +11,7 @@ import (
 	"asti/internal/adaptive"
 	"asti/internal/baselines"
 	"asti/internal/diffusion"
+	"asti/internal/journal"
 	"asti/internal/trim"
 )
 
@@ -54,29 +55,126 @@ var ErrTooManySessions = errors.New("serve: session limit reached")
 
 // Manager owns the session table of a serving process: it resolves
 // datasets through a shared Registry, creates and indexes sessions, and
-// closes them. All methods are safe for concurrent use.
+// closes them. With a journal attached (WithJournal / WithJournalDir) it
+// write-ahead-logs every session state transition and can rebuild its
+// table after a crash with Recover. All methods are safe for concurrent
+// use.
 type Manager struct {
 	reg *Registry
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	nextID   uint64
-	limit    int
+	mu         sync.Mutex
+	journal    *journal.Store // guarded by mu (Recover may attach late)
+	journalErr error          // deferred WithJournalDir open failure
+	sessions   map[string]*Session
+	nextID     uint64
+	limit      int
+	creating   int // sessions holding a reserved id while their created record syncs
+}
+
+// store returns the attached journal store and any deferred open error.
+func (m *Manager) store() (*journal.Store, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journal, m.journalErr
+}
+
+// ManagerOption configures a Manager at construction.
+type ManagerOption func(*Manager)
+
+// WithJournal attaches a write-ahead journal store: every session
+// created through the manager logs its state transitions (fsynced)
+// before acknowledging them, and Recover can rebuild the session table
+// from the store after a restart.
+func WithJournal(st *journal.Store) ManagerOption {
+	return func(m *Manager) { m.journal = st }
+}
+
+// WithJournalDir is WithJournal over journal.Open(dir). The directory is
+// created if needed; an open failure is deferred to the first Create or
+// Recover call (option functions cannot return errors).
+func WithJournalDir(dir string) ManagerOption {
+	return func(m *Manager) {
+		st, err := journal.Open(dir)
+		if err != nil {
+			m.journalErr = err
+			return
+		}
+		m.journal = st
+	}
 }
 
 // NewManager returns a manager resolving datasets from reg. limit caps
 // the number of concurrently open sessions (0 = unlimited).
-func NewManager(reg *Registry, limit int) *Manager {
-	return &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit}
+func NewManager(reg *Registry, limit int, opts ...ManagerOption) *Manager {
+	m := &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
 }
 
 // Registry returns the manager's dataset registry.
 func (m *Manager) Registry() *Registry { return m.reg }
 
+// Journaled reports whether the manager write-ahead-logs its sessions.
+func (m *Manager) Journaled() bool {
+	st, _ := m.store()
+	return st != nil
+}
+
 // Create builds a session from cfg: it resolves the dataset (loading the
 // graph on first use), instantiates a fresh policy, and registers the
-// session under a new id.
+// session under a new id. On a journaled manager the session's created
+// record is committed to disk before Create returns.
 func (m *Manager) Create(cfg Config) (*Session, error) {
+	st, jerr := m.store()
+	if jerr != nil {
+		return nil, jerr
+	}
+	s, err := m.buildSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reserve an id (and a slot against the limit, counting in-flight
+	// creates) under the lock, but journal outside it: the created
+	// record's fsync must not stall unrelated Session/List/Close calls.
+	m.mu.Lock()
+	if m.limit > 0 && len(m.sessions)+m.creating >= m.limit {
+		m.mu.Unlock()
+		s.Close()
+		return nil, ErrTooManySessions
+	}
+	m.nextID++
+	s.id = "s" + strconv.FormatUint(m.nextID, 10)
+	m.creating++
+	m.mu.Unlock()
+
+	// Journal (and fsync) the created record before the session becomes
+	// visible in the table: no other caller may step a session whose
+	// write-ahead log is not armed yet. The reserved id is never reused
+	// on failure — ids are write-once within a journal directory.
+	if st != nil {
+		if err := journalCreate(st, s, cfg); err != nil {
+			m.mu.Lock()
+			m.creating--
+			m.mu.Unlock()
+			s.Close()
+			return nil, err
+		}
+	}
+	m.mu.Lock()
+	m.creating--
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// buildSession resolves cfg into a ready (but unregistered, unjournaled)
+// session: dataset graph, threshold, fresh policy. Shared by Create and
+// Recover, so a replayed session is constructed exactly like the
+// original.
+func (m *Manager) buildSession(cfg Config) (*Session, error) {
 	g, err := m.reg.Graph(cfg.Dataset)
 	if err != nil {
 		return nil, err
@@ -110,17 +208,74 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s.dataset = cfg.Dataset
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.limit > 0 && len(m.sessions) >= m.limit {
-		s.Close()
-		return nil, ErrTooManySessions
-	}
-	m.nextID++
-	s.id = "s" + strconv.FormatUint(m.nextID, 10)
-	m.sessions[s.id] = s
 	return s, nil
+}
+
+// journalCreate opens the session's log in st and commits its created
+// record; only then is write-ahead logging armed on the session.
+func journalCreate(st *journal.Store, s *Session, cfg Config) error {
+	w, err := st.Create(s.id)
+	if err != nil {
+		return err
+	}
+	if err := w.Append(journal.TypeCreated, createdRecord(cfg)); err != nil {
+		w.Close()
+		_ = st.Remove(s.id)
+		return err
+	}
+	s.attachJournal(w)
+	return nil
+}
+
+// createdRecord flattens a Config into its journal form (the model by
+// wire name, everything else verbatim).
+func createdRecord(cfg Config) journal.Created {
+	return journal.Created{
+		Dataset:          cfg.Dataset,
+		Policy:           cfg.Policy,
+		Model:            cfg.Model.String(),
+		Eta:              cfg.Eta,
+		EtaFrac:          cfg.EtaFrac,
+		Epsilon:          cfg.Epsilon,
+		Workers:          cfg.Workers,
+		MaxSetsPerRound:  cfg.MaxSetsPerRound,
+		DisablePoolReuse: cfg.DisablePoolReuse,
+		Seed:             cfg.Seed,
+	}
+}
+
+// configFromRecord is createdRecord's inverse, rebuilding the Config a
+// recovered session was created with.
+func configFromRecord(c journal.Created) (Config, error) {
+	model, err := parseModelName(c.Model)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Dataset:          c.Dataset,
+		Policy:           c.Policy,
+		Model:            model,
+		Eta:              c.Eta,
+		EtaFrac:          c.EtaFrac,
+		Epsilon:          c.Epsilon,
+		Workers:          c.Workers,
+		MaxSetsPerRound:  c.MaxSetsPerRound,
+		DisablePoolReuse: c.DisablePoolReuse,
+		Seed:             c.Seed,
+	}, nil
+}
+
+// parseModelName maps a journaled model name back to a diffusion.Model
+// ("" = IC, matching Config's zero value).
+func parseModelName(name string) (diffusion.Model, error) {
+	switch strings.ToUpper(name) {
+	case "", "IC":
+		return diffusion.IC, nil
+	case "LT":
+		return diffusion.LT, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown model %q", name)
+	}
 }
 
 // Session returns the open session with the given id.
@@ -134,21 +289,33 @@ func (m *Manager) Session(id string) (*Session, error) {
 	return s, nil
 }
 
-// Close closes the session with the given id and removes it from the
-// table.
+// Close ends the session with the given id for good and removes it from
+// the table. On a journaled manager the closed record is committed and
+// the session's log deleted — a deliberately closed campaign is never
+// recovered.
 func (m *Manager) Close(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	delete(m.sessions, id)
+	st := m.journal
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("serve: unknown session %q", id)
 	}
 	s.Close()
+	if st != nil {
+		// Best effort: the closed record is already committed, so a log
+		// whose removal fails is recognized (and deleted) by the next
+		// Recover — the close itself succeeded and must report success.
+		_ = st.Remove(id)
+	}
 	return nil
 }
 
-// CloseAll closes every open session (serving-process shutdown).
+// CloseAll releases every open session's resources for serving-process
+// shutdown. Unlike Close it does NOT mark journaled sessions closed:
+// their logs stay on disk, and the next process recovers them with
+// Recover.
 func (m *Manager) CloseAll() {
 	m.mu.Lock()
 	sessions := make([]*Session, 0, len(m.sessions))
@@ -158,8 +325,16 @@ func (m *Manager) CloseAll() {
 	m.sessions = map[string]*Session{}
 	m.mu.Unlock()
 	for _, s := range sessions {
-		s.Close()
+		s.release()
 	}
+}
+
+// Count returns the number of open sessions (O(1); health probes should
+// prefer it over len(List()), which snapshots every session).
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
 }
 
 // List returns a status snapshot of every open session, sorted by id.

@@ -1,0 +1,400 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/graph"
+	"asti/internal/journal"
+	"asti/internal/rng"
+	"asti/internal/serve"
+)
+
+// driveRounds steps s up to maxRounds select–observe rounds against φ,
+// carrying the client-side activated mirror across calls (so a campaign
+// can be split across a "crash"). It returns the proposed batches and
+// whether the campaign finished.
+func driveRounds(t *testing.T, s *serve.Session, φ *diffusion.Realization, mirror *bitset.Set, maxRounds int) ([][]int32, bool) {
+	t.Helper()
+	var batches [][]int32
+	for r := 0; r < maxRounds; r++ {
+		batch, err := s.NextBatch()
+		if errors.Is(err, serve.ErrDone) {
+			return batches, true
+		}
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		batches = append(batches, batch)
+		newly := φ.Spread(batch, mirror)
+		for _, v := range newly {
+			mirror.Set(v)
+		}
+		prog, err := s.Observe(newly)
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if prog.Done {
+			return batches, true
+		}
+	}
+	return batches, false
+}
+
+// TestKillAndRestartEquivalence is the acceptance criterion: a session
+// interrupted mid-campaign (its manager abandoned un-closed, as a SIGKILL
+// leaves it) and recovered from its journal proposes byte-identical
+// batches to an uninterrupted run, across Workers ∈ {1,4} and pool reuse
+// on and off.
+func TestKillAndRestartEquivalence(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(99))
+	for _, workers := range []int{1, 4} {
+		for _, disableReuse := range []bool{false, true} {
+			name := fmt.Sprintf("workers=%d/reuse=%v", workers, !disableReuse)
+			t.Run(name, func(t *testing.T) {
+				cfg := serve.Config{
+					Dataset: "test", EtaFrac: 0.1, Epsilon: 0.5, Seed: 7,
+					Workers: workers, DisablePoolReuse: disableReuse,
+				}
+
+				// Uninterrupted reference run (no journal).
+				ref := serve.NewManager(testRegistry(t), 0)
+				defer ref.CloseAll()
+				rs, err := ref.Create(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBatches, done := driveRounds(t, rs, φ, bitset.New(int(g.N())), 1<<20)
+				if !done {
+					t.Fatal("reference run did not finish")
+				}
+				if len(wantBatches) < 3 {
+					t.Skipf("campaign too short to interrupt (%d rounds)", len(wantBatches))
+				}
+
+				// Interrupted run: drive 2 rounds, abandon the manager without
+				// any close (the journal is fsynced per transition, so this is
+				// exactly what a SIGKILL leaves behind).
+				dir := t.TempDir()
+				mirror := bitset.New(int(g.N()))
+				mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+				s1, err := mgr1.Create(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBatches, done := driveRounds(t, s1, φ, mirror, 2)
+				if done {
+					t.Fatal("campaign finished before the interruption point")
+				}
+				id := s1.ID()
+
+				// Restart: fresh manager over the same directory.
+				mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+				defer mgr2.CloseAll()
+				rep, err := mgr2.Recover("")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Recovered != 1 || rep.Skipped != 0 || rep.Closed != 0 {
+					t.Fatalf("recovery report %+v, want 1 recovered", rep)
+				}
+				if rep.Rounds != 2 {
+					t.Errorf("replayed %d rounds, want 2", rep.Rounds)
+				}
+				s2, err := mgr2.Session(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := s2.Status()
+				if !st.Durable || st.Round != 2 || st.Phase != "propose" {
+					t.Fatalf("recovered status %+v", st)
+				}
+				rest, done := driveRounds(t, s2, φ, mirror, 1<<20)
+				if !done {
+					t.Fatal("recovered run did not finish")
+				}
+				gotBatches = append(gotBatches, rest...)
+
+				if fmt.Sprint(gotBatches) != fmt.Sprint(wantBatches) {
+					t.Errorf("interrupted+recovered batches %v != uninterrupted %v", gotBatches, wantBatches)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoverPendingBatch interrupts between NextBatch and Observe: the
+// recovered session must be back in the observe phase with the identical
+// pending batch, and accept the observation as if nothing happened.
+func TestRecoverPendingBatch(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(5))
+	dir := t.TempDir()
+	cfg := serve.Config{Dataset: "test", EtaFrac: 0.2, Epsilon: 0.5, Seed: 3, Workers: 1}
+
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	s1, err := mgr1.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := bitset.New(int(g.N()))
+	driveRounds(t, s1, φ, mirror, 1)
+	batch, err := s1.NextBatch() // proposed, never observed
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s1.ID()
+
+	mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	defer mgr2.CloseAll()
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	s2, err := mgr2.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Status()
+	if st.Phase != "observe" || fmt.Sprint(st.Pending) != fmt.Sprint(batch) {
+		t.Fatalf("recovered status %+v, want pending %v", st, batch)
+	}
+	// The observation the client was about to send still applies.
+	newly := φ.Spread(batch, mirror)
+	if _, err := s2.Observe(newly); err != nil {
+		t.Fatalf("Observe after recovery: %v", err)
+	}
+}
+
+// TestRecoverAfterGracefulShutdown pins CloseAll's contract: shutdown
+// releases resources but does not mark sessions closed, so they recover.
+func TestRecoverAfterGracefulShutdown(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(6))
+	dir := t.TempDir()
+
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	s1, err := mgr1.Create(serve.Config{Dataset: "test", EtaFrac: 0.3, Epsilon: 0.5, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s1.ID()
+	driveRounds(t, s1, φ, bitset.New(int(g.N())), 1)
+	mgr1.CloseAll()
+
+	// The released session rejects further steps…
+	if _, err := s1.NextBatch(); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("NextBatch after CloseAll: %v, want ErrClosed", err)
+	}
+	// …but its journal survives, and a new process recovers it.
+	mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	defer mgr2.CloseAll()
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.Closed != 0 {
+		t.Fatalf("report %+v, want the shut-down session recovered", rep)
+	}
+	if _, err := mgr2.Session(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseIsFinal pins Manager.Close's contract: a deliberate close
+// journals the closed record and deletes the log — recovery never
+// resurrects the session.
+func TestCloseIsFinal(t *testing.T) {
+	dir := t.TempDir()
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	s, err := mgr1.Create(serve.Config{Dataset: "test", EtaFrac: 0.3, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr1.Close(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("journal dir still has %d files after Close", len(entries))
+	}
+	mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 0 || rep.Skipped != 0 {
+		t.Errorf("report %+v, want nothing to recover", rep)
+	}
+}
+
+// TestRecoverDamagedLogs runs the corruption matrix at the serve layer:
+// torn final record, bit-flipped CRC, empty file, unknown record type,
+// and garbage created record. Recovery must never fail outright — each
+// damaged log costs at most its own session, with a logged warning.
+func TestRecoverDamagedLogs(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(12))
+	dir := t.TempDir()
+
+	// A healthy journaled session to prove damage elsewhere is contained.
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	healthy, err := mgr1.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Epsilon: 0.5, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRounds(t, healthy, φ, bitset.New(int(g.N())), 2)
+	healthyID := healthy.ID()
+
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Torn tail: a valid created record with a half-written proposal.
+	created, err := journal.Marshal(journal.TypeCreated, journal.Created{
+		Dataset: "test", EtaFrac: 0.2, Epsilon: 0.5, Seed: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed, err := journal.Marshal(journal.TypeProposed, journal.Proposed{Round: 1, Seeds: []int32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("s50.wal", append(append([]byte(nil), created...), proposed[:len(proposed)-4]...))
+	// Bit-flipped CRC in the created record: nothing survives the scan.
+	flipped := append([]byte(nil), created...)
+	flipped[5] ^= 0xFF
+	write("s51.wal", flipped)
+	// Empty file.
+	write("s52.wal", nil)
+	// Unknown record type after a valid created record.
+	write("s53.wal", append(append([]byte(nil), created...), journal.RawFrame(journal.Type(42), []byte(`{}`))...))
+	// Garbage created body.
+	write("s54.wal", journal.RawFrame(journal.TypeCreated, []byte(`{"dataset":`)))
+
+	mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	defer mgr2.CloseAll()
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatalf("Recover must survive damaged logs, got %v", err)
+	}
+	// s50 recovers (its torn proposal is truncated away, leaving a valid
+	// created record); the healthy session recovers; the rest are skipped
+	// (s52's empty file is removed), all with warnings.
+	if rep.Recovered != 2 {
+		t.Errorf("recovered %d sessions, want 2 (healthy + torn-tail); warnings: %v", rep.Recovered, rep.Warnings)
+	}
+	if rep.Skipped != 4 {
+		t.Errorf("skipped %d, want 4; warnings: %v", rep.Skipped, rep.Warnings)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Error("damaged logs produced no warnings")
+	}
+	if _, err := mgr2.Session(healthyID); err != nil {
+		t.Errorf("healthy session not recovered: %v", err)
+	}
+	if _, err := mgr2.Session("s50"); err != nil {
+		t.Errorf("torn-tail session not recovered: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s52.wal")); !errors.Is(err, os.ErrNotExist) {
+		t.Error("empty log not removed")
+	}
+	for _, id := range []string{"s51", "s53", "s54"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".wal")); err != nil {
+			t.Errorf("skipped log %s removed from disk: %v", id, err)
+		}
+	}
+	// The unreadable log keeps its bytes for inspection — recovery must
+	// not truncate a file it decided to skip.
+	if data, err := os.ReadFile(filepath.Join(dir, "s51.wal")); err != nil || len(data) != len(flipped) {
+		t.Errorf("skipped log s51 modified: %d bytes (want %d), err %v", len(data), len(flipped), err)
+	}
+
+	// Fresh ids must clear every id seen in the directory, even skipped
+	// ones — s54 was the highest.
+	fresh, err := mgr2.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Seed: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() != "s55" {
+		t.Errorf("fresh id %s, want s55 (past every journaled id)", fresh.ID())
+	}
+}
+
+// TestRecoverDivergenceSkipped changes the world under the journal: a log
+// recorded against one graph replayed against a different one must be
+// skipped (the proposals no longer match), never silently resumed.
+func TestRecoverDivergenceSkipped(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(21))
+	dir := t.TempDir()
+
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	s1, err := mgr1.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Epsilon: 0.5, Seed: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRounds(t, s1, φ, bitset.New(int(g.N())), 2)
+
+	// "test" now resolves to a completely different graph.
+	reg := serve.NewRegistry()
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(1, 2, 0.9)
+	b.AddEdge(2, 3, 0.9)
+	other, err := b.Build("other", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterGraph("test", other); err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 0 || rep.Skipped != 1 {
+		t.Fatalf("report %+v, want the diverged session skipped", rep)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		found = found || strings.Contains(w, "diverged") || strings.Contains(w, "replay")
+	}
+	if !found {
+		t.Errorf("no divergence warning in %v", rep.Warnings)
+	}
+}
+
+// TestRecoverWithoutJournalErrors pins the misconfiguration errors.
+func TestRecoverWithoutJournalErrors(t *testing.T) {
+	mgr := serve.NewManager(testRegistry(t), 0)
+	if _, err := mgr.Recover(""); err == nil {
+		t.Error("Recover with no journal attached succeeded")
+	}
+	if mgr.Journaled() {
+		t.Error("Journaled() true without journal")
+	}
+	// Recover(dir) attaches on the fly.
+	if _, err := mgr.Recover(t.TempDir()); err != nil {
+		t.Errorf("Recover(dir): %v", err)
+	}
+	if !mgr.Journaled() {
+		t.Error("Journaled() false after Recover(dir)")
+	}
+}

@@ -27,6 +27,24 @@
 // batches when fed identical observations, regardless of worker count or
 // how many other sessions run beside them (each session owns its policy
 // and sampling-engine pool; the graph is shared read-only).
+//
+// # Durability
+//
+// A Manager built with WithJournal or WithJournalDir write-ahead-logs
+// every session transition (create, propose, observe, close) through
+// internal/journal — fsynced before the transition is acknowledged —
+// and Recover rebuilds the session table after a crash or restart by
+// replaying each log through the deterministic engine:
+//
+//	mgr := serve.NewManager(reg, 0, serve.WithJournalDir("wal"))
+//	rep, _ := mgr.Recover("") // on startup: resume journaled sessions
+//
+// Determinism is what makes this cheap and safe: a session's state is a
+// pure function of (dataset, policy config, seed, observation history),
+// so the journal stores only those inputs, and every replayed proposal
+// is verified byte-for-byte against the journaled one — a session whose
+// environment changed under the journal is skipped with a warning, not
+// silently resumed into a diverged campaign.
 package serve
 
 import (

@@ -10,6 +10,7 @@ import (
 	"asti/internal/bitset"
 	"asti/internal/diffusion"
 	"asti/internal/graph"
+	"asti/internal/journal"
 	"asti/internal/rng"
 )
 
@@ -65,9 +66,12 @@ var (
 // commits the batch's realized influence and advances the state. The
 // session is done once at least η nodes are active.
 //
-// A Session is safe for concurrent use; calls are serialized internally.
-// Given the same dataset, policy and seed, the proposed batches are a
-// deterministic function of the observation sequence.
+// A Session is safe for concurrent use; calls are serialized internally
+// (on a journaled session this includes the commit fsync, so a Status
+// snapshot may briefly wait behind an in-flight transition — the price
+// of a strictly ordered log). Given the same dataset, policy and seed,
+// the proposed batches are a deterministic function of the observation
+// sequence.
 type Session struct {
 	mu sync.Mutex
 
@@ -78,6 +82,7 @@ type Session struct {
 	eta     int64
 	policy  adaptive.Policy
 	src     *rng.Source
+	jw      *journal.Writer // nil for in-memory sessions (and during replay)
 
 	phase    Phase
 	round    int
@@ -190,6 +195,18 @@ func (s *Session) Propose() (Proposal, error) {
 		s.round--
 		return Proposal{}, fmt.Errorf("serve: round %d: %w", s.round+1, err)
 	}
+	// Write-ahead commit: the proposal is journaled (and fsynced) before
+	// the session acknowledges it, so a killed process can replay it.
+	if s.jw != nil {
+		frame, err := journal.Marshal(journal.TypeProposed, journal.Proposed{Round: s.round, Seeds: batch})
+		if err != nil {
+			s.round--
+			return Proposal{}, fmt.Errorf("serve: round %d: %w", s.round+1, err)
+		}
+		if err := s.jw.AppendFrame(frame); err != nil {
+			return Proposal{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
+		}
+	}
 	s.pending = append([]int32(nil), batch...)
 	s.phase = PhaseObserve
 	out := make([]int32, len(batch))
@@ -231,6 +248,31 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 	for _, v := range activated {
 		if v < 0 || v >= s.g.N() {
 			return Progress{}, fmt.Errorf("serve: round %d: observed node %d outside [0, n=%d)", s.round, v, s.g.N())
+		}
+	}
+	// Write-ahead commit: the observation — the session's only
+	// nondeterministic input — is journaled before any state changes.
+	if s.jw != nil {
+		// Only the ids this observation can newly activate are journaled:
+		// commit semantics ignore already-active ids, so dropping them is
+		// replay-invisible and bounds the record by the residual graph
+		// rather than by however large a cumulative activated set the
+		// client chooses to resend each round.
+		fresh := make([]int32, 0, len(activated))
+		for _, v := range activated {
+			if !s.active.Get(v) {
+				fresh = append(fresh, v)
+			}
+		}
+		frame, err := journal.Marshal(journal.TypeObserved, journal.Observed{Round: s.round, Activated: fresh})
+		if err != nil {
+			// Encoding failed before anything touched disk: the session
+			// state is untouched and the session stays serviceable — this
+			// is the caller's oversized record, not a broken log.
+			return Progress{}, fmt.Errorf("serve: round %d: %w", s.round, err)
+		}
+		if err := s.jw.AppendFrame(frame); err != nil {
+			return Progress{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
 		}
 	}
 	before := s.activatedLocked()
@@ -288,7 +330,12 @@ type Status struct {
 	EtaI int64
 	// Done reports whether η has been reached.
 	Done bool
+	// Durable reports whether the session is journaled (its state
+	// survives a process restart via Manager.Recover).
+	Durable bool
 	// SelectSeconds is the cumulative policy-side selection time.
+	// Replayed rounds re-run selection, so after a recovery this restarts
+	// near the pre-crash value but is not byte-identical to it.
 	SelectSeconds float64
 }
 
@@ -308,6 +355,7 @@ func (s *Session) Status() Status {
 		Seeds:         len(s.seeds),
 		Activated:     s.activatedLocked(),
 		Done:          s.phase == PhaseDone,
+		Durable:       s.jw != nil,
 		SelectSeconds: s.selectTime.Seconds(),
 	}
 	if s.pending != nil {
@@ -337,11 +385,28 @@ func (s *Session) Result() *adaptive.Result {
 	}
 }
 
-// Close releases the session's policy resources (the sampling-engine
-// worker pool for TRIM-family policies). Close is idempotent; NextBatch
-// and Observe return ErrClosed afterwards, while Status and Result keep
+// Close ends the campaign for good: it releases the session's policy
+// resources (the sampling-engine worker pool for TRIM-family policies)
+// and, for journaled sessions, appends the closed record so recovery
+// never resurrects the session. Close is idempotent; NextBatch and
+// Observe return ErrClosed afterwards, while Status and Result keep
 // reporting the final state.
+//
+// A serving process shutting down must NOT Close sessions it intends to
+// recover after restart — Manager.CloseAll releases resources without
+// marking sessions closed.
 func (s *Session) Close() {
+	s.closeSession(true)
+}
+
+// release is shutdown-time Close: resources are freed but no closed
+// record is written, so the session stays recoverable from its journal.
+func (s *Session) release() {
+	s.closeSession(false)
+}
+
+// closeSession implements Close/release; mark journals the closed record.
+func (s *Session) closeSession(mark bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.phase == PhaseClosed {
@@ -349,9 +414,44 @@ func (s *Session) Close() {
 	}
 	s.phase = PhaseClosed
 	s.pending = nil
+	if s.jw != nil {
+		if mark {
+			// Best effort: a failed closed-record append at worst resurrects
+			// the session on recovery, where the client can delete it again.
+			_ = s.jw.Append(journal.TypeClosed, nil)
+		}
+		_ = s.jw.Close()
+		s.jw = nil
+	}
 	if c, ok := s.policy.(interface{ Close() }); ok {
 		c.Close()
 	}
+}
+
+// failLocked poisons the session after a journal append failure: the
+// write-ahead contract ("journaled before acknowledged") cannot hold
+// anymore, so instead of serving acknowledgements that would not survive
+// a crash, the session closes. Callers hold s.mu; the wrapped error is
+// returned for relaying.
+func (s *Session) failLocked(err error) error {
+	s.phase = PhaseClosed
+	s.pending = nil
+	if s.jw != nil {
+		_ = s.jw.Close()
+		s.jw = nil
+	}
+	if c, ok := s.policy.(interface{ Close() }); ok {
+		c.Close()
+	}
+	return err
+}
+
+// attachJournal arms write-ahead logging (used by the Manager after the
+// created record is committed, and after a successful replay).
+func (s *Session) attachJournal(w *journal.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jw = w
 }
 
 // activatedLocked returns the active-node count; callers hold s.mu.

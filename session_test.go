@@ -3,6 +3,7 @@ package asti_test
 import (
 	"errors"
 	"fmt"
+	"os"
 	"testing"
 
 	"asti"
@@ -54,6 +55,70 @@ func ExampleOpenSession() {
 	// Output:
 	// reached threshold: true
 	// seeds used: 1
+}
+
+// ExampleWithJournalDir makes a session durable: its state transitions
+// are write-ahead journaled, so after a crash (simulated here by simply
+// abandoning the first manager) a fresh manager over the same directory
+// recovers the session mid-campaign, and it proposes exactly what the
+// uninterrupted session would have.
+func ExampleWithJournalDir() {
+	dir, err := os.MkdirTemp("", "asti-wal")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	reg := asti.NewSessionRegistry()
+	b := asti.NewGraphBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g, err := b.Build("chain", true)
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.RegisterGraph("chain", g); err != nil {
+		panic(err)
+	}
+
+	// First process life: propose one batch, observe, then "crash".
+	mgr := asti.NewSessionManager(reg, 0, asti.WithJournalDir(dir))
+	s, err := mgr.Create(asti.SessionConfig{Dataset: "chain", Eta: 4, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	batch, err := s.NextBatch()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := s.Observe(batch); err != nil { // nobody relayed the message
+		panic(err)
+	}
+	id := s.ID()
+
+	// Second process life: recover from the journal and keep going.
+	mgr2 := asti.NewSessionManager(reg, 0, asti.WithJournalDir(dir))
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered sessions:", rep.Recovered)
+	resumed, err := mgr2.Session(id)
+	if err != nil {
+		panic(err)
+	}
+	st := resumed.Status()
+	fmt.Println("resumed at round:", st.Round, "phase:", st.Phase, "durable:", st.Durable)
+	if _, err := resumed.NextBatch(); err != nil {
+		panic(err)
+	}
+	fmt.Println("round after resume:", resumed.Status().Round)
+	// Output:
+	// recovered sessions: 1
+	// resumed at round: 1 phase: propose durable: true
+	// round after resume: 2
 }
 
 // TestOpenSessionMatchesRunAdaptive checks the facade contract: a session
