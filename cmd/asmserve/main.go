@@ -18,7 +18,8 @@
 //
 // Endpoints (full reference: docs/API.md):
 //
-//	GET    /healthz                   liveness probe + recovery stats
+//	GET    /healthz                   liveness probe + recovery/memory stats
+//	GET    /metrics                   Prometheus-style metrics (sessions by phase, passivations, step latency)
 //	GET    /v1/datasets               registered dataset names
 //	POST   /v1/sessions               create a session
 //	GET    /v1/sessions               list open sessions
@@ -37,6 +38,12 @@
 // engine, resuming every session — even after a SIGKILL mid-round —
 // exactly where its last acknowledged transition left it (docs/
 // OPERATIONS.md describes the recovery procedure and directory layout).
+//
+// With -idle-ttl additionally set, sessions a client stops touching are
+// passivated: their sampling engine and mRR pool (the dominant
+// per-session memory) are released while the journal keeps their state,
+// and the next API call reactivates them transparently by replaying the
+// log — the reactivated session proposes byte-identical batches.
 package main
 
 import (
@@ -61,15 +68,16 @@ func main() {
 		graphPath   = flag.String("graph", "", "also register a graph from an edge-list file (name 'custom')")
 		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions (0 = unlimited)")
 		journalDir  = flag.String("journal-dir", "", "write-ahead-journal directory for durable sessions (empty = in-memory only)")
+		idleTTL     = flag.Duration("idle-ttl", 0, "passivate durable sessions idle for this long, releasing their memory until the next call reactivates them from the journal (0 = never; requires -journal-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir); err != nil {
+	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir, *idleTTL); err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string) error {
+func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string, idleTTL time.Duration) error {
 	reg := serve.NewSyntheticRegistry(scale)
 	if graphPath != "" {
 		if err := reg.RegisterLoader("custom", func() (*graph.Graph, error) {
@@ -78,12 +86,22 @@ func run(addr string, scale float64, graphPath string, maxSessions int, journalD
 			return err
 		}
 	}
-	mgr := serve.NewManager(reg, maxSessions)
+	var opts []serve.ManagerOption
+	if journalDir != "" {
+		opts = append(opts, serve.WithJournalDir(journalDir))
+	}
+	if idleTTL > 0 {
+		if journalDir == "" {
+			return errors.New("-idle-ttl requires -journal-dir (only journaled sessions can be passivated)")
+		}
+		opts = append(opts, serve.WithIdleTTL(idleTTL))
+	}
+	mgr := serve.NewManager(reg, maxSessions, opts...)
 	defer mgr.CloseAll()
 
 	recovered := 0
 	if journalDir != "" {
-		rep, err := mgr.Recover(journalDir)
+		rep, err := mgr.Recover("") // the journal is already attached
 		if err != nil {
 			return err
 		}
@@ -99,6 +117,15 @@ func run(addr string, scale float64, graphPath string, maxSessions int, journalD
 		Addr:        addr,
 		Handler:     newHandler(mgr, recovered),
 		ReadTimeout: 30 * time.Second,
+		// WriteTimeout bounds how long a slow-reading client can pin a
+		// handler goroutine (and, for /next, a session lock). It must
+		// cover the slowest legitimate response — a proposal on a large
+		// graph plus a reactivation replay — hence minutes, not seconds.
+		WriteTimeout: 10 * time.Minute,
+		// IdleTimeout reaps keep-alive connections parked between
+		// requests; without it (and with ReadTimeout only arming per
+		// request) an idle client holds its connection forever.
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	errc := make(chan error, 1)

@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -295,9 +299,12 @@ func TestRestartRecovery(t *testing.T) {
 	if code := call(t, "GET", ts2.URL+"/v1/sessions/"+before.ID, nil, &after); code != 200 {
 		t.Fatalf("status after restart: code %d", code)
 	}
-	// Identical status up to SelectSeconds (replay re-runs selection, so
-	// the timing differs; everything the client observes must not).
+	// Identical status up to SelectSeconds and IdleSeconds (replay
+	// re-runs selection and resets the idle clock, so the timings differ;
+	// everything else the client observes must not — pool_bytes included,
+	// since the replayed pool is byte-identical to the original).
 	before.SelectSeconds, after.SelectSeconds = 0, 0
+	before.IdleSeconds, after.IdleSeconds = 0, 0
 	if fmt.Sprintf("%+v", before) != fmt.Sprintf("%+v", after) {
 		t.Errorf("status diverged across restart:\n before %+v\n after  %+v", before, after)
 	}
@@ -327,5 +334,244 @@ func TestDatasetLoadFailure(t *testing.T) {
 	if code := call(t, "POST", ts.URL+"/v1/sessions",
 		createRequest{Dataset: "bad"}, &errBody); code != http.StatusInternalServerError {
 		t.Errorf("failing loader: code %d (%s), want 500", code, errBody.Error)
+	}
+}
+
+// rawPost posts raw bytes (no JSON encoding) and returns the status code
+// plus decoded error body, for the strict-parsing tests.
+func rawPost(t *testing.T, url string, body []byte) (int, errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var errBody errorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&errBody)
+	return resp.StatusCode, errBody
+}
+
+// TestStrictRequestParsing pins the hardened request decoding: unknown
+// fields (typo'd "worker"), trailing garbage after the JSON value, and
+// syntactically broken bodies are 400; oversized bodies are 413.
+func TestStrictRequestParsing(t *testing.T) {
+	ts := testServer(t)
+
+	if code, e := rawPost(t, ts.URL+"/v1/sessions",
+		[]byte(`{"dataset":"tiny","worker":4}`)); code != http.StatusBadRequest {
+		t.Errorf("unknown field: code %d (%s), want 400", code, e.Error)
+	}
+	if code, e := rawPost(t, ts.URL+"/v1/sessions",
+		[]byte(`{"dataset":"tiny","seed":7} trailing-garbage`)); code != http.StatusBadRequest {
+		t.Errorf("trailing garbage: code %d (%s), want 400", code, e.Error)
+	}
+	if code, e := rawPost(t, ts.URL+"/v1/sessions",
+		[]byte(`{"dataset":`)); code != http.StatusBadRequest {
+		t.Errorf("broken body: code %d (%s), want 400", code, e.Error)
+	}
+
+	// A session to aim the observe-body tests at.
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.05, Seed: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + st.ID
+	if code, e := rawPost(t, base+"/observe",
+		[]byte(`{"activated":[],"activate":[]}`)); code != http.StatusBadRequest {
+		t.Errorf("unknown observe field: code %d (%s), want 400", code, e.Error)
+	}
+	// An observe body past the 8 MiB cap: ~1.1M node ids. The decoder
+	// must cut it off with 413 without reading it all.
+	big := bytes.Repeat([]byte("1234567,"), (8<<20)/8+1)
+	body := append([]byte(`{"activated":[`), big...)
+	body = append(body, []byte(`1]}`)...)
+	if code, e := rawPost(t, base+"/observe", body); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: code %d (%s), want 413", code, e.Error)
+	}
+	// The session survives all of the above rejected bodies.
+	var batch batchResponse
+	if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+		t.Errorf("next after rejected bodies: code %d", code)
+	}
+}
+
+// TestMetricsEndpoint smoke-tests the Prometheus exposition: after one
+// step, /metrics reports the session census, the step histograms, and
+// the memory gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 9}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + st.ID
+	var batch batchResponse
+	if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+		t.Fatalf("next: code %d", code)
+	}
+	var prog progressResponse
+	if code := call(t, "POST", base+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+		t.Fatalf("observe: code %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: code %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`asmserve_sessions{phase="propose"} 1`,
+		`asmserve_sessions{phase="passivated"} 0`,
+		`asmserve_passivations_total 0`,
+		`asmserve_reactivations_total 0`,
+		`asmserve_step_seconds_count{op="next"} 1`,
+		`asmserve_step_seconds_count{op="observe"} 1`,
+		`asmserve_step_seconds_bucket{op="next",le="+Inf"} 1`,
+		`asmserve_sessions_recovered 0`,
+		`asmserve_idle_ttl_seconds 0`,
+		"asmserve_pool_bytes ",
+		"asmserve_journal_bytes 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTransparentReactivationHTTP passivates a session behind the HTTP
+// layer's back and verifies clients never notice: status and next both
+// reactivate through the manager and answer as if nothing happened.
+func TestTransparentReactivationHTTP(t *testing.T) {
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 16, serve.WithJournalDir(t.TempDir()))
+	ts := httptest.NewServer(newHandler(mgr, 0))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 5, Workers: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + st.ID
+	var batch batchResponse
+	if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+		t.Fatalf("next: code %d", code)
+	}
+	var prog progressResponse
+	if code := call(t, "POST", base+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+		t.Fatalf("observe: code %d", code)
+	}
+
+	if ok, err := mgr.Passivate(st.ID); err != nil || !ok {
+		t.Fatalf("Passivate: ok=%v err=%v", ok, err)
+	}
+	var after statusResponse
+	if code := call(t, "GET", base, nil, &after); code != 200 {
+		t.Fatalf("status on passivated session: code %d", code)
+	}
+	if after.Phase != "propose" || after.Passivations != 1 || after.Round != 1 {
+		t.Errorf("status after reactivation %+v", after)
+	}
+
+	if ok, err := mgr.Passivate(st.ID); err != nil || !ok {
+		t.Fatalf("second Passivate: ok=%v err=%v", ok, err)
+	}
+	if code := call(t, "POST", base+"/next", nil, &batch); code != 200 || batch.Round != 2 {
+		t.Errorf("next on passivated session: code %d batch %+v", code, batch)
+	}
+
+	var health healthResponse
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: code %d", code)
+	}
+	if health.Passivations != 2 || health.Reactivations != 2 || health.Passivated != 0 {
+		t.Errorf("healthz counters %+v", health)
+	}
+	// The memory gauges live on /metrics (healthz stays O(1)).
+	body, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Body.Close()
+	text, err := io.ReadAll(body.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "asmserve_journal_bytes ") ||
+		strings.Contains(string(text), "asmserve_journal_bytes 0\n") {
+		t.Errorf("metrics journal bytes not positive:\n%s", text)
+	}
+}
+
+// TestReactivationFailureIs500 pins the error mapping when a passivated
+// session cannot be revived: the session exists, so the client must see
+// a server-side 500 (operator's problem), never a 404 that reads as
+// "your campaign was deleted".
+func TestReactivationFailureIs500(t *testing.T) {
+	dir := t.TempDir()
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 16, serve.WithJournalDir(dir))
+	ts := httptest.NewServer(newHandler(mgr, 0))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 21, Workers: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	if ok, err := mgr.Passivate(st.ID); err != nil || !ok {
+		t.Fatalf("Passivate: ok=%v err=%v", ok, err)
+	}
+	// Rot the log: the reactivation replay must refuse.
+	wal := filepath.Join(dir, st.ID+".wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errBody errorResponse
+	if code := call(t, "GET", ts.URL+"/v1/sessions/"+st.ID, nil, &errBody); code != http.StatusInternalServerError {
+		t.Errorf("status on damaged passivated session: code %d (%s), want 500", code, errBody.Error)
+	}
+	// Unknown ids are still the caller's 404.
+	if code := call(t, "GET", ts.URL+"/v1/sessions/s99", nil, &errBody); code != http.StatusNotFound {
+		t.Errorf("unknown id: code %d, want 404", code)
 	}
 }

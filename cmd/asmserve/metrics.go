@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// stepBuckets are the latency histogram bucket bounds in seconds. One
+// step spans a journal fsync (sub-ms to ~10ms depending on disk), a
+// policy selection (ms to seconds at scale), or a reactivation replay
+// (grows with rounds), so the buckets cover 1ms..10s log-ish.
+var stepBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is a fixed-bucket latency histogram, safe for concurrent
+// observation without locks (handlers record, the /metrics scrape
+// reads; Prometheus semantics tolerate the snapshot being torn across
+// counters).
+type histogram struct {
+	buckets  []atomic.Uint64 // per-bucket (non-cumulative) counts
+	overflow atomic.Uint64   // observations beyond the last bound
+	count    atomic.Uint64
+	sumMicro atomic.Int64 // sum in microseconds (exact enough for latency)
+}
+
+// newHistogram returns a histogram over stepBuckets.
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Uint64, len(stepBuckets))}
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	placed := false
+	for i, b := range stepBuckets {
+		if s <= b {
+			h.buckets[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.overflow.Add(1)
+	}
+	h.count.Add(1)
+	h.sumMicro.Add(d.Microseconds())
+}
+
+// writeProm emits the histogram in Prometheus text format under name,
+// with one fixed label (op="next"/"observe").
+func (h *histogram) writeProm(w http.ResponseWriter, name, label, value string) {
+	cum := uint64(0)
+	for i, b := range stepBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatBound(b), cum)
+	}
+	cum += h.overflow.Load()
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, float64(h.sumMicro.Load())/1e6)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.count.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus expects
+// (shortest float representation, no trailing zeros).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// handleMetrics serves GET /metrics: a Prometheus-style text exposition
+// of the session census (by phase), the passivation/reactivation
+// counters, the memory gauges, and the step-latency histograms. Scraping
+// it walks the session table once; it never touches idle clocks, so
+// monitoring cannot keep a session alive.
+func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mt := sv.mgr.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintln(w, "# HELP asmserve_sessions Open sessions by lifecycle phase (passivated sessions are parked in the journal).")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions gauge")
+	// Emit every known phase (zeros included) so dashboards see stable
+	// series, then any phase the census has that we did not predict.
+	known := []string{"propose", "observe", "done", "passivated"}
+	seen := map[string]bool{}
+	for _, ph := range known {
+		seen[ph] = true
+		fmt.Fprintf(w, "asmserve_sessions{phase=%q} %d\n", ph, mt.Phases[ph])
+	}
+	var extra []string
+	for ph := range mt.Phases {
+		if !seen[ph] {
+			extra = append(extra, ph)
+		}
+	}
+	sort.Strings(extra)
+	for _, ph := range extra {
+		fmt.Fprintf(w, "asmserve_sessions{phase=%q} %d\n", ph, mt.Phases[ph])
+	}
+
+	fmt.Fprintln(w, "# HELP asmserve_passivations_total Idle sessions passivated to the write-ahead journal since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_passivations_total counter")
+	fmt.Fprintf(w, "asmserve_passivations_total %d\n", mt.Passivations)
+	fmt.Fprintln(w, "# HELP asmserve_reactivations_total Passivated sessions reactivated by log replay since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_reactivations_total counter")
+	fmt.Fprintf(w, "asmserve_reactivations_total %d\n", mt.Reactivations)
+	fmt.Fprintln(w, "# HELP asmserve_pool_bytes Estimated heap bytes held by live sessions' sampling pools.")
+	fmt.Fprintln(w, "# TYPE asmserve_pool_bytes gauge")
+	fmt.Fprintf(w, "asmserve_pool_bytes %d\n", mt.PoolBytes)
+	fmt.Fprintln(w, "# HELP asmserve_journal_bytes On-disk bytes of the open sessions' write-ahead logs.")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_bytes gauge")
+	fmt.Fprintf(w, "asmserve_journal_bytes %d\n", mt.JournalBytes)
+	fmt.Fprintln(w, "# HELP asmserve_sessions_recovered Sessions rebuilt from the journal when this process booted.")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_recovered gauge")
+	fmt.Fprintf(w, "asmserve_sessions_recovered %d\n", sv.recovered)
+	fmt.Fprintln(w, "# HELP asmserve_idle_ttl_seconds Configured idle-passivation TTL (0 = passivation off).")
+	fmt.Fprintln(w, "# TYPE asmserve_idle_ttl_seconds gauge")
+	fmt.Fprintf(w, "asmserve_idle_ttl_seconds %g\n", sv.mgr.IdleTTL().Seconds())
+
+	fmt.Fprintln(w, "# HELP asmserve_step_seconds Latency of session steps (proposal fetch and observation commit), reactivation replay included.")
+	fmt.Fprintln(w, "# TYPE asmserve_step_seconds histogram")
+	sv.nextLat.writeProm(w, "asmserve_step_seconds", "op", "next")
+	sv.observeLat.writeProm(w, "asmserve_step_seconds", "op", "observe")
+}

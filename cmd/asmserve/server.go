@@ -4,12 +4,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"asti/internal/diffusion"
 	"asti/internal/serve"
 )
+
+// maxRequestBody caps JSON request bodies. Anything larger is rejected
+// with 413 before it can balloon the decoder: an observe body of 8 MiB
+// already holds roughly a million activated node ids, far beyond any
+// per-wave delta the residual graph can absorb (and far beyond what the
+// journal would accept as one record).
+const maxRequestBody = 8 << 20
 
 // createRequest is the body of POST /v1/sessions.
 type createRequest struct {
@@ -42,20 +51,35 @@ type statusResponse struct {
 	EtaI          int64   `json:"eta_i"`
 	Done          bool    `json:"done"`
 	Durable       bool    `json:"durable"`
+	Passivations  int     `json:"passivations"`
+	PoolBytes     int64   `json:"pool_bytes"`
+	IdleSeconds   float64 `json:"idle_seconds"`
 	SelectSeconds float64 `json:"select_seconds"`
 }
 
 // healthResponse is the body of GET /healthz.
 type healthResponse struct {
 	OK bool `json:"ok"`
-	// Sessions is the number of currently open sessions.
+	// Sessions is the number of currently open sessions, passivated
+	// included.
 	Sessions int `json:"sessions"`
+	// Passivated is the number of sessions currently parked in the
+	// journal by the idle sweep.
+	Passivated int `json:"passivated"`
+	// Passivations / Reactivations count idle-lifecycle events since
+	// this process booted. (The memory gauges — pool and journal bytes —
+	// need a session-table walk and live on /metrics; healthz stays O(1)
+	// so probes never contend with request handlers.)
+	Passivations  uint64 `json:"passivations"`
+	Reactivations uint64 `json:"reactivations"`
 	// Journal reports whether sessions are write-ahead journaled
 	// (-journal-dir was set).
 	Journal bool `json:"journal"`
 	// RecoveredSessions counts sessions rebuilt from the journal when
 	// this process booted.
 	RecoveredSessions int `json:"recovered_sessions"`
+	// IdleTTLSeconds is the configured passivation TTL (0 = off).
+	IdleTTLSeconds float64 `json:"idle_ttl_seconds"`
 }
 
 // batchResponse is the body of POST /v1/sessions/{id}/next.
@@ -85,94 +109,148 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// server holds the handler state shared across requests: the session
+// manager, the boot-time recovery count, and the step-latency
+// histograms /metrics exposes.
+type server struct {
+	mgr        *serve.Manager
+	recovered  int
+	nextLat    *histogram
+	observeLat *histogram
+}
+
 // newHandler builds the asmserve route table over one session manager.
 // recovered is the boot-time recovery count reported by /healthz.
 func newHandler(mgr *serve.Manager, recovered int) http.Handler {
+	sv := &server{mgr: mgr, recovered: recovered, nextLat: newHistogram(), observeLat: newHistogram()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{
-			OK:                true,
-			Sessions:          mgr.Count(),
-			Journal:           mgr.Journaled(),
-			RecoveredSessions: recovered,
-		})
-	})
+	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"datasets": mgr.Registry().Names()})
+		writeJSON(w, http.StatusOK, map[string][]string{"datasets": sv.mgr.Registry().Names()})
 	})
-	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		var req createRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-			return
-		}
-		model, err := parseModel(req.Model)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		s, err := mgr.Create(serve.Config{
-			Dataset:          req.Dataset,
-			Policy:           req.Policy,
-			Model:            model,
-			Eta:              req.Eta,
-			EtaFrac:          req.EtaFrac,
-			Epsilon:          req.Epsilon,
-			Workers:          req.Workers,
-			DisablePoolReuse: req.DisablePoolReuse,
-			Seed:             req.Seed,
-		})
-		if err != nil {
-			writeError(w, createStatus(err), err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, toStatusResponse(s.Status()))
+	mux.HandleFunc("POST /v1/sessions", sv.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", sv.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", sv.handleStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/next", sv.handleNext)
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", sv.handleObserve)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", sv.handleClose)
+	return mux
+}
+
+func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := sv.mgr.Stats() // O(1): probes must not walk the session table
+	writeJSON(w, http.StatusOK, healthResponse{
+		OK:                true,
+		Sessions:          st.Sessions,
+		Passivated:        st.Passivated,
+		Passivations:      st.Passivations,
+		Reactivations:     st.Reactivations,
+		Journal:           sv.mgr.Journaled(),
+		RecoveredSessions: sv.recovered,
+		IdleTTLSeconds:    sv.mgr.IdleTTL().Seconds(),
 	})
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		list := mgr.List()
-		out := make([]statusResponse, len(list))
-		for i, st := range list {
-			out[i] = toStatusResponse(st)
-		}
-		writeJSON(w, http.StatusOK, map[string][]statusResponse{"sessions": out})
+}
+
+func (sv *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s, err := sv.mgr.Create(serve.Config{
+		Dataset:          req.Dataset,
+		Policy:           req.Policy,
+		Model:            model,
+		Eta:              req.Eta,
+		EtaFrac:          req.EtaFrac,
+		Epsilon:          req.Epsilon,
+		Workers:          req.Workers,
+		DisablePoolReuse: req.DisablePoolReuse,
+		Seed:             req.Seed,
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		s, err := mgr.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, createStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, toStatusResponse(s.Status()))
+}
+
+func (sv *server) handleList(w http.ResponseWriter, r *http.Request) {
+	list := sv.mgr.List()
+	out := make([]statusResponse, len(list))
+	for i, st := range list {
+		out[i] = toStatusResponse(st)
+	}
+	writeJSON(w, http.StatusOK, map[string][]statusResponse{"sessions": out})
+}
+
+func (sv *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	// The manager lookup reactivates a passivated session, so a status
+	// probe always reports the live phase, never "passivated".
+	s, err := sv.mgr.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, lookupStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toStatusResponse(s.Status()))
+}
+
+func (sv *server) handleNext(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t0 := time.Now()
+	// Retry once through the manager if an idle sweep passivates the
+	// session between our lookup and the call: the re-fetch replays the
+	// journal and hands back a live session, making passivation invisible
+	// to clients.
+	for attempt := 0; ; attempt++ {
+		s, err := sv.mgr.Session(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, toStatusResponse(s.Status()))
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/next", func(w http.ResponseWriter, r *http.Request) {
-		s, err := mgr.Session(r.PathValue("id"))
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, lookupStatus(err), err)
 			return
 		}
 		prop, err := s.Propose()
+		if errors.Is(err, serve.ErrPassivated) && attempt == 0 {
+			continue
+		}
 		if err != nil {
 			writeError(w, stepStatus(err), err)
 			return
 		}
+		sv.nextLat.observe(time.Since(t0))
 		writeJSON(w, http.StatusOK, batchResponse{ID: s.ID(), Round: prop.Round, Seeds: prop.Seeds})
-	})
-	mux.HandleFunc("POST /v1/sessions/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
-		s, err := mgr.Session(r.PathValue("id"))
+		return
+	}
+}
+
+func (sv *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req observeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, bodyStatus(err), fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		s, err := sv.mgr.Session(id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		var req observeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			writeError(w, lookupStatus(err), err)
 			return
 		}
 		prog, err := s.Observe(req.Activated)
+		if errors.Is(err, serve.ErrPassivated) && attempt == 0 {
+			continue
+		}
 		if err != nil {
 			writeError(w, stepStatus(err), err)
 			return
 		}
+		sv.observeLat.observe(time.Since(t0))
 		writeJSON(w, http.StatusOK, progressResponse{
 			ID:             s.ID(),
 			Round:          prog.Round,
@@ -181,15 +259,46 @@ func newHandler(mgr *serve.Manager, recovered int) http.Handler {
 			EtaI:           prog.EtaI,
 			Done:           prog.Done,
 		})
-	})
-	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if err := mgr.Close(r.PathValue("id")); err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
-	})
-	return mux
+		return
+	}
+}
+
+func (sv *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := sv.mgr.Close(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+// decodeJSON decodes one JSON value from the request body into v,
+// strictly: bodies over maxRequestBody fail (mapped to 413 by
+// bodyStatus), unknown fields fail (a typo'd "worker" must not silently
+// run with the default worker count), and trailing data after the value
+// fails (a concatenated second body is a client bug, not padding).
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// bodyStatus maps a decodeJSON failure to its HTTP status: an oversized
+// body is 413, everything else (syntax, unknown field, trailing data)
+// is the caller's 400.
+func bodyStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // parseModel maps the wire model name to a diffusion.Model ("" = IC).
@@ -202,6 +311,18 @@ func parseModel(name string) (diffusion.Model, error) {
 	default:
 		return 0, fmt.Errorf("unknown model %q (IC or LT)", name)
 	}
+}
+
+// lookupStatus maps Manager.Session errors to HTTP statuses: an id not
+// in the table is the caller's 404; anything else means the session
+// exists but its reactivation replay failed (journal damaged on disk,
+// environment drift) — a server-side 500 the operator must see, never a
+// 404 that tells the client its campaign is gone.
+func lookupStatus(err error) int {
+	if errors.Is(err, serve.ErrUnknownSession) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
 }
 
 // createStatus maps session-creation errors to HTTP statuses: unknown
@@ -221,8 +342,10 @@ func createStatus(err error) int {
 }
 
 // stepStatus maps NextBatch/Observe errors to HTTP statuses: lifecycle
-// ordering violations are conflicts, closed sessions are gone, anything
-// else (bad node ids, policy failure) is a bad request.
+// ordering violations are conflicts, closed sessions are gone, a
+// passivation lost twice in a row is a transient 503 (the handler
+// already retried through the manager once), anything else (bad node
+// ids, policy failure) is a bad request.
 func stepStatus(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrBatchPending),
@@ -231,6 +354,8 @@ func stepStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusGone
+	case errors.Is(err, serve.ErrPassivated):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
@@ -252,6 +377,9 @@ func toStatusResponse(st serve.Status) statusResponse {
 		EtaI:          st.EtaI,
 		Done:          st.Done,
 		Durable:       st.Durable,
+		Passivations:  st.Passivations,
+		PoolBytes:     st.PoolBytes,
+		IdleSeconds:   st.IdleSeconds,
 		SelectSeconds: st.SelectSeconds,
 	}
 }

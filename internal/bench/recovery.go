@@ -44,6 +44,30 @@ type RecoveryPoint struct {
 	Identical bool `json:"identical_next_batch"`
 }
 
+// PassivationPoint is the measured passivate→reactivate round trip at
+// one campaign length: what parking an idle session costs, and what the
+// first call after it pays to replay the session back to life.
+type PassivationPoint struct {
+	// Rounds is how many committed rounds the session held.
+	Rounds int `json:"rounds"`
+	// Trials is the number of passivate→reactivate repetitions.
+	Trials int `json:"trials"`
+	// PassivateP50Seconds / PassivateP99Seconds are Manager.Passivate
+	// latency percentiles across trials (releasing the engine, pool and
+	// journal writer).
+	PassivateP50Seconds float64 `json:"passivate_p50_seconds"`
+	PassivateP99Seconds float64 `json:"passivate_p99_seconds"`
+	// ReactivateP50Seconds / ReactivateP99Seconds are the latency of the
+	// Manager.Session lookup that replays the log and resumes the
+	// session.
+	ReactivateP50Seconds float64 `json:"reactivate_p50_seconds"`
+	ReactivateP99Seconds float64 `json:"reactivate_p99_seconds"`
+	// Identical reports the acceptance check: every trial's reactivated
+	// session proposed the byte-identical next batch to an uninterrupted
+	// session at the same point.
+	Identical bool `json:"identical_next_batch"`
+}
+
 // ServePerfReport is the machine-readable result of the serve-recovery
 // experiment (BENCH_serve.json): what durability costs per step and what
 // recovery costs per journaled round.
@@ -66,6 +90,9 @@ type ServePerfReport struct {
 	IdenticalSelections bool `json:"identical_selections"`
 	// Recovery is the recovery-latency curve vs rounds replayed.
 	Recovery []RecoveryPoint `json:"recovery"`
+	// Passivation is the idle passivate→reactivate round-trip curve vs
+	// rounds replayed.
+	Passivation []PassivationPoint `json:"passivation"`
 }
 
 // serveRecovery measures the durable-session subsystem: the per-step
@@ -154,12 +181,18 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	const trials = 3
 	points := []int{2, 5, 10}
 	var curve []RecoveryPoint
+	var pcurve []PassivationPoint
 	for _, rounds := range points {
 		pt, err := recoveryPoint(reg, cfg, g, rounds, trials)
 		if err != nil {
 			return err
 		}
 		curve = append(curve, *pt)
+		pp, err := passivationPoint(reg, cfg, rounds, trials)
+		if err != nil {
+			return err
+		}
+		pcurve = append(pcurve, *pp)
 	}
 
 	rep := &ServePerfReport{
@@ -174,6 +207,7 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 		OverheadP50Seconds:  jrn.P50Seconds - mem.P50Seconds,
 		IdenticalSelections: identical,
 		Recovery:            curve,
+		Passivation:         pcurve,
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -196,8 +230,19 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rounds held\ttrials\tp50 passivate\tp99 passivate\tp50 reactivate\tp99 reactivate\tidentical next batch")
+	for _, pt := range rep.Passivation {
+		fmt.Fprintf(tw, "%d\t%d\t%.3gs\t%.3gs\t%.3gs\t%.3gs\t%v\n", pt.Rounds, pt.Trials,
+			pt.PassivateP50Seconds, pt.PassivateP99Seconds,
+			pt.ReactivateP50Seconds, pt.ReactivateP99Seconds, pt.Identical)
+		allIdentical = allIdentical && pt.Identical
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
 	if !allIdentical {
-		return fmt.Errorf("bench: recovered sessions diverged from uninterrupted runs")
+		return fmt.Errorf("bench: recovered or reactivated sessions diverged from uninterrupted runs")
 	}
 	if r.BenchDir != "" {
 		if err := writeBenchFile(r.BenchDir, rep.Experiment, rep); err != nil {
@@ -289,6 +334,82 @@ func killAndRecover(reg *serve.Registry, cfg serve.Config, rounds int) (float64,
 		return 0, nil, err
 	}
 	return lat, got, nil
+}
+
+// passivationPoint runs `trials` passivate→reactivate round trips, each
+// on a fresh session journaled for exactly `rounds` committed rounds,
+// timing Manager.Passivate (release) and the Manager.Session lookup
+// that replays the log (reactivation). Every reactivated session's next
+// proposal is verified against an uninterrupted reference session.
+func passivationPoint(reg *serve.Registry, cfg serve.Config, rounds, trials int) (*PassivationPoint, error) {
+	refMgr := serve.NewManager(reg, 0)
+	defer refMgr.CloseAll()
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := driveBatchOnly(ref, rounds); err != nil {
+		return nil, err
+	}
+	wantNext, err := ref.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &PassivationPoint{Rounds: rounds, Trials: trials, Identical: true}
+	pass := make([]float64, 0, trials)
+	react := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		dir, err := os.MkdirTemp("", "asti-bench-passivate")
+		if err != nil {
+			return nil, err
+		}
+		mgr := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+		s, err := mgr.Create(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		trialErr := func() error {
+			defer mgr.CloseAll()
+			if err := driveBatchOnly(s, rounds); err != nil {
+				return err
+			}
+			id := s.ID()
+			t0 := time.Now()
+			ok, err := mgr.Passivate(id)
+			pass = append(pass, time.Since(t0).Seconds())
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("bench: session %s not passivated", id)
+			}
+			t1 := time.Now()
+			rs, err := mgr.Session(id) // reactivates by replaying the log
+			react = append(react, time.Since(t1).Seconds())
+			if err != nil {
+				return err
+			}
+			got, err := rs.NextBatch()
+			if err != nil {
+				return err
+			}
+			if !slices.Equal(got, wantNext) {
+				pt.Identical = false
+			}
+			return nil
+		}()
+		os.RemoveAll(dir)
+		if trialErr != nil {
+			return nil, trialErr
+		}
+	}
+	pt.PassivateP50Seconds = percentileF(pass, 0.50)
+	pt.PassivateP99Seconds = percentileF(pass, 0.99)
+	pt.ReactivateP50Seconds = percentileF(react, 0.50)
+	pt.ReactivateP99Seconds = percentileF(react, 0.99)
+	return pt, nil
 }
 
 // driveBatchOnly steps a session `rounds` times with observations that

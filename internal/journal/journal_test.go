@@ -318,3 +318,42 @@ func TestOversizedRecordRejectedAtCommit(t *testing.T) {
 		t.Fatal(tailErr)
 	}
 }
+
+// TestSize pins the accounting contract: Size reports exactly the bytes
+// on disk, grows with every append, and errors for ids with no log.
+func TestSize(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Size("nope"); err == nil {
+		t.Error("Size of a missing log succeeded")
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	empty, err := st.Size("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != 0 {
+		t.Errorf("fresh log size %d, want 0", empty)
+	}
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "test", Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := st.Size("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "s1.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != int64(len(data)) || after == 0 {
+		t.Errorf("Size %d, file has %d bytes", after, len(data))
+	}
+}

@@ -140,6 +140,18 @@ func (st *Store) Resume(id string) (*Resumed, error) {
 	return &Resumed{Writer: &Writer{f: f}, Records: recs, TailErr: tailErr}, nil
 }
 
+// Size returns the on-disk byte size of a session's log. It is the
+// store's contribution to memory/disk accounting: a manager rolls the
+// per-session sizes up into its journal-bytes gauge, and operators
+// budget the journal directory from the same number.
+func (st *Store) Size(id string) (int64, error) {
+	fi, err := os.Stat(st.path(id))
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	return fi.Size(), nil
+}
+
 // Remove deletes a session's log (after a deliberate close — the
 // campaign is over and there is nothing left to recover). The unlink is
 // fsynced; losing it to a power failure would only resurrect a log

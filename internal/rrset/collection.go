@@ -1,6 +1,10 @@
 package rrset
 
-import "asti/internal/graph"
+import (
+	"unsafe"
+
+	"asti/internal/graph"
+)
 
 // Collection accumulates mRR (or RR) sets and maintains the coverage
 // counts Λ_R(v) — the number of stored sets containing v — plus an
@@ -201,6 +205,32 @@ func (c *Collection) Size() int { return c.count }
 
 // TotalNodes returns the sum of set sizes (memory/cost proxy).
 func (c *Collection) TotalNodes() int64 { return c.nodes }
+
+// MemoryBytes estimates the collection's heap footprint: the capacity of
+// every backing slice times its element size. It is an accounting
+// estimate (map/struct headers and allocator slack are not counted), but
+// it tracks the dominant cost — setData plus the per-node arrays — and
+// is what the serve layer rolls up into its pool-memory gauge.
+func (c *Collection) MemoryBytes() int64 {
+	const (
+		i64  = 8
+		i32  = 4
+		b    = 1
+		heap = int64(unsafe.Sizeof(heapEntry{}))
+	)
+	return int64(cap(c.cov))*i64 +
+		int64(cap(c.touched))*i32 +
+		int64(cap(c.inTouched))*b +
+		int64(cap(c.setStart))*i64 +
+		int64(cap(c.setLen))*i32 +
+		int64(cap(c.rootK))*i32 +
+		int64(cap(c.setData))*i32 +
+		int64(cap(c.idxOff))*i64 +
+		int64(cap(c.idxSets))*i32 +
+		int64(cap(c.marks))*i64 +
+		int64(cap(c.nmark))*i64 +
+		int64(cap(c.heap))*heap
+}
 
 // Coverage returns Λ_R(v).
 func (c *Collection) Coverage(v int32) int64 { return c.cov[v] }

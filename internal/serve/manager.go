@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"asti/internal/adaptive"
 	"asti/internal/baselines"
@@ -53,12 +54,22 @@ type Config struct {
 // cap is reached.
 var ErrTooManySessions = errors.New("serve: session limit reached")
 
+// ErrUnknownSession is returned by Session, Close and Passivate for ids
+// not in the table (never created, or deleted). Front ends use it to
+// separate the caller's 404 from server-side failures: a reactivation
+// that fails (damaged journal, replay divergence) is NOT this error —
+// the session still exists, the server just could not revive it.
+var ErrUnknownSession = errors.New("serve: unknown session")
+
 // Manager owns the session table of a serving process: it resolves
 // datasets through a shared Registry, creates and indexes sessions, and
 // closes them. With a journal attached (WithJournal / WithJournalDir) it
 // write-ahead-logs every session state transition and can rebuild its
-// table after a crash with Recover. All methods are safe for concurrent
-// use.
+// table after a crash with Recover. With an idle TTL (WithIdleTTL) it
+// additionally passivates idle durable sessions — their engine and mRR
+// pool are released while the journal keeps their state — and
+// transparently reactivates them on the next Session lookup by replaying
+// the log. All methods are safe for concurrent use.
 type Manager struct {
 	reg *Registry
 
@@ -69,6 +80,24 @@ type Manager struct {
 	nextID     uint64
 	limit      int
 	creating   int // sessions holding a reserved id while their created record syncs
+
+	// Lifecycle-governance counters (guarded by mu). passive tracks the
+	// number of currently passivated sessions so Stats stays O(1).
+	passivations  uint64
+	reactivations uint64
+	passive       int
+
+	// reactMu guards reactInflight: one replay per session id at a time
+	// (concurrent lookups of one passivated session wait for the winner
+	// instead of racing duplicate replays), while reactivations of
+	// DIFFERENT sessions run concurrently — replays are expensive, and a
+	// process-wide serial replay queue would stall unrelated requests.
+	reactMu       sync.Mutex
+	reactInflight map[string]chan struct{}
+
+	idleTTL   time.Duration
+	sweepStop chan struct{}
+	sweepEnd  sync.Once
 }
 
 // store returns the attached journal store and any deferred open error.
@@ -103,14 +132,118 @@ func WithJournalDir(dir string) ManagerOption {
 	}
 }
 
+// WithIdleTTL arms idle-session passivation: a background sweep (every
+// ttl/4, clamped to [10ms, 1m]) passivates durable sessions that no
+// client call has touched for ttl, releasing their engine and sampling
+// pool while the write-ahead journal keeps their state on disk. The next
+// Session lookup reactivates a passivated session transparently by
+// replaying its log — the reactivated session proposes byte-identical
+// batches to an uninterrupted one. Sessions without a journal are never
+// passivated (there would be nothing to reactivate from); ttl <= 0
+// leaves passivation off. CloseAll stops the sweep.
+func WithIdleTTL(ttl time.Duration) ManagerOption {
+	return func(m *Manager) { m.idleTTL = ttl }
+}
+
 // NewManager returns a manager resolving datasets from reg. limit caps
 // the number of concurrently open sessions (0 = unlimited).
 func NewManager(reg *Registry, limit int, opts ...ManagerOption) *Manager {
-	m := &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit}
+	m := &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit,
+		reactInflight: map[string]chan struct{}{}}
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.idleTTL > 0 {
+		m.sweepStop = make(chan struct{})
+		go m.sweepLoop()
+	}
 	return m
+}
+
+// sweepLoop drives the idle-passivation ticker until CloseAll.
+func (m *Manager) sweepLoop() {
+	every := m.idleTTL / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	if every > time.Minute {
+		every = time.Minute
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.sweepStop:
+			return
+		case <-t.C:
+			m.PassivateIdle(m.idleTTL)
+		}
+	}
+}
+
+// IdleTTL returns the passivation TTL the manager was built with (0 =
+// passivation off).
+func (m *Manager) IdleTTL() time.Duration { return m.idleTTL }
+
+// PassivateIdle passivates every durable session that has been idle for
+// at least ttl and returns how many it passivated (ttl <= 0 passivates
+// every eligible session — useful for shedding memory under pressure).
+// In-memory sessions are never touched: without a journal there is
+// nothing to reactivate from.
+func (m *Manager) PassivateIdle(ttl time.Duration) int {
+	m.mu.Lock()
+	candidates := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		candidates = append(candidates, s)
+	}
+	m.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, s := range candidates {
+		if s.idleFor(now) < ttl {
+			continue
+		}
+		// passivate re-checks idleness under the session lock, so a client
+		// call racing the sweep keeps its session live. Counter updates
+		// happen inside passivate (still under the session lock), so the
+		// passivated gauge is already up when a reactivation becomes able
+		// to decrement it.
+		if s.passivate(now, ttl) {
+			n++
+		}
+	}
+	return n
+}
+
+// notePassivated / notePassivatedClosed maintain the lifecycle counters;
+// sessions call them from under their own lock (lock order s.mu → m.mu).
+func (m *Manager) notePassivated() {
+	m.mu.Lock()
+	m.passivations++
+	m.passive++
+	m.mu.Unlock()
+}
+
+func (m *Manager) notePassivatedClosed() {
+	m.mu.Lock()
+	m.passive--
+	m.mu.Unlock()
+}
+
+// Passivate passivates one session by id regardless of how recently it
+// was touched. It fails for unknown ids and reports false for sessions
+// that cannot be passivated (in-memory, closed, or already passivated).
+func (m *Manager) Passivate(id string) (bool, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("%w %q", ErrUnknownSession, id)
+	}
+	if !s.passivate(time.Now(), 0) {
+		return false, nil
+	}
+	return true, nil
 }
 
 // Registry returns the manager's dataset registry.
@@ -208,6 +341,7 @@ func (m *Manager) buildSession(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s.dataset = cfg.Dataset
+	s.mgr = m
 	return s, nil
 }
 
@@ -223,7 +357,7 @@ func journalCreate(st *journal.Store, s *Session, cfg Config) error {
 		_ = st.Remove(s.id)
 		return err
 	}
-	s.attachJournal(w)
+	s.attachJournal(w, st)
 	return nil
 }
 
@@ -278,14 +412,138 @@ func parseModelName(name string) (diffusion.Model, error) {
 	}
 }
 
-// Session returns the open session with the given id.
+// Session returns the open session with the given id, reactivating it
+// first if an idle sweep passivated it (the log is replayed through the
+// deterministic engine, so the reactivated session proposes
+// byte-identical batches to one that was never passivated). The lookup
+// counts as activity: it refreshes the session's idle clock.
 func (m *Manager) Session(id string) (*Session, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s, ok := m.sessions[id]
+	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown session %q", id)
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, id)
 	}
+	if !s.passivated() {
+		s.touch()
+		return s, nil
+	}
+	return m.reactivate(id)
+}
+
+// reactivate rebuilds a passivated session from its journal and swaps
+// the live session into the table. Concurrent reactivations of one id
+// share a single replay — losers wait on the winner's in-flight channel
+// and then find the live session on re-check — while distinct ids
+// replay concurrently. The passivated stub is left behind for stale
+// pointers: their calls keep returning ErrPassivated and a fresh
+// Manager.Session lookup hands out the live object.
+func (m *Manager) reactivate(id string) (*Session, error) {
+	for {
+		m.reactMu.Lock()
+		inflight, busy := m.reactInflight[id]
+		if !busy {
+			done := make(chan struct{})
+			m.reactInflight[id] = done
+			m.reactMu.Unlock()
+			s, err := m.replayPassivated(id)
+			m.reactMu.Lock()
+			delete(m.reactInflight, id)
+			close(done)
+			m.reactMu.Unlock()
+			return s, err
+		}
+		m.reactMu.Unlock()
+		<-inflight
+		// The winner finished: usually the session is live now. If its
+		// replay failed (or a sweep re-passivated already), loop and try
+		// the replay ourselves.
+		m.mu.Lock()
+		s, ok := m.sessions[id]
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownSession, id)
+		}
+		if !s.passivated() {
+			s.touch()
+			return s, nil
+		}
+	}
+}
+
+// replayPassivated performs one reactivation replay for id; callers
+// must hold the id's reactInflight slot (see reactivate).
+func (m *Manager) replayPassivated(id string) (*Session, error) {
+	m.mu.Lock()
+	old, ok := m.sessions[id]
+	st := m.journal
+	m.mu.Unlock()
+	if !ok {
+		// Closed while we waited for the reactivation slot.
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, id)
+	}
+	if !old.passivated() {
+		// Another caller reactivated it first (or it was never passivated).
+		old.touch()
+		return old, nil
+	}
+	if st == nil {
+		// Unreachable (only journaled sessions passivate), but never nil-deref.
+		return nil, fmt.Errorf("serve: session %q passivated without a journal", id)
+	}
+	recs, tailErr, err := st.Load(id)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reactivate %s: %w", id, err)
+	}
+	if tailErr != nil {
+		// The log was intact when the session passivated; a torn or corrupt
+		// tail now means the disk lost bytes under us. Resuming from the
+		// shorter prefix would silently roll back acknowledged transitions,
+		// so reactivation refuses (crash recovery, where losing the record
+		// being appended is expected, stays lenient — see Recover).
+		return nil, fmt.Errorf("serve: reactivate %s: journal damaged while passivated: %w", id, tailErr)
+	}
+	s, _, err := m.rebuild(recs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reactivate %s: %w", id, err)
+	}
+	res, err := st.Resume(id)
+	if err != nil {
+		s.release()
+		return nil, fmt.Errorf("serve: reactivate %s: %w", id, err)
+	}
+	if len(res.Records) != len(recs) {
+		res.Writer.Close()
+		s.release()
+		return nil, fmt.Errorf("serve: reactivate %s: journal changed during reactivation", id)
+	}
+	s.id = id
+	s.passivations = old.passivations
+	s.attachJournal(res.Writer, st)
+	// Claim the episode's gauge count before touching the table (the flag
+	// is guarded by the session lock, which must not nest inside m.mu).
+	counted := old.consumePassiveCount()
+	m.mu.Lock()
+	if cur, ok := m.sessions[id]; !ok || cur != old {
+		// A concurrent Close deleted the session (and its log) while we
+		// replayed: inserting the rebuilt session would resurrect a
+		// deliberately closed campaign. Discard it — but settle the gauge
+		// count we claimed, since the close found the flag already consumed
+		// and skipped its own decrement.
+		if counted {
+			m.passive--
+		}
+		m.mu.Unlock()
+		res.Writer.Close()
+		s.release()
+		return nil, fmt.Errorf("%w %q", ErrUnknownSession, id)
+	}
+	m.sessions[id] = s
+	if counted {
+		m.passive--
+	}
+	m.reactivations++
+	m.mu.Unlock()
 	return s, nil
 }
 
@@ -300,8 +558,12 @@ func (m *Manager) Close(id string) error {
 	st := m.journal
 	m.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("serve: unknown session %q", id)
+		return fmt.Errorf("%w %q", ErrUnknownSession, id)
 	}
+	// Session.Close handles the passivated case itself (closed record via
+	// a reopened log, gauge decrement) — decided under the session lock,
+	// so a sweep parking the session between our table delete and this
+	// call cannot skip it.
 	s.Close()
 	if st != nil {
 		// Best effort: the closed record is already committed, so a log
@@ -313,28 +575,117 @@ func (m *Manager) Close(id string) error {
 }
 
 // CloseAll releases every open session's resources for serving-process
-// shutdown. Unlike Close it does NOT mark journaled sessions closed:
-// their logs stay on disk, and the next process recovers them with
-// Recover.
+// shutdown, and stops the idle-passivation sweep if one is running.
+// Unlike Close it does NOT mark journaled sessions closed: their logs
+// stay on disk, and the next process recovers them with Recover.
 func (m *Manager) CloseAll() {
+	if m.sweepStop != nil {
+		m.sweepEnd.Do(func() { close(m.sweepStop) })
+	}
 	m.mu.Lock()
 	sessions := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		sessions = append(sessions, s)
 	}
 	m.sessions = map[string]*Session{}
+	m.passive = 0
 	m.mu.Unlock()
 	for _, s := range sessions {
 		s.release()
 	}
 }
 
-// Count returns the number of open sessions (O(1); health probes should
-// prefer it over len(List()), which snapshots every session).
+// Stats is the O(1) counter subset of Metrics, cheap enough for
+// per-request probes (/healthz): session and passivated counts plus the
+// lifetime passivation/reactivation counters. The memory gauges need a
+// table walk and live on Metrics.
+type Stats struct {
+	// Sessions is the number of open sessions, passivated included.
+	Sessions int
+	// Passivated is the number of currently passivated sessions.
+	Passivated int
+	// Passivations / Reactivations count lifecycle events since the
+	// manager was built.
+	Passivations  uint64
+	Reactivations uint64
+}
+
+// Stats returns the manager's O(1) lifecycle counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Sessions:      len(m.sessions),
+		Passivated:    m.passive,
+		Passivations:  m.passivations,
+		Reactivations: m.reactivations,
+	}
+}
+
+// Count returns the number of open sessions, passivated ones included
+// (O(1); health probes should prefer it over len(List()), which
+// snapshots every session).
 func (m *Manager) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.sessions)
+}
+
+// Metrics is a point-in-time roll-up of the manager's session table for
+// monitoring endpoints (/metrics, /healthz): population by phase, the
+// lifetime passivation/reactivation counters, and the memory gauges —
+// estimated sampling-pool bytes held in RAM and journal bytes held on
+// disk.
+type Metrics struct {
+	// Sessions is the number of open sessions, passivated included.
+	Sessions int
+	// Passivated is the number of currently passivated sessions.
+	Passivated int
+	// Phases counts sessions by phase name ("propose", "observe",
+	// "done", "passivated").
+	Phases map[string]int
+	// Passivations / Reactivations count lifecycle events since the
+	// manager was built.
+	Passivations  uint64
+	Reactivations uint64
+	// PoolBytes is the summed per-session sampling-pool estimate
+	// (passivated sessions contribute 0 — that is the point).
+	PoolBytes int64
+	// JournalBytes is the summed on-disk size of the open sessions' logs
+	// (0 for an unjournaled manager).
+	JournalBytes int64
+}
+
+// Metrics snapshots the manager for monitoring. It walks every session
+// (like List), so poll it at metrics-scrape cadence, not per request.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	st := m.journal
+	mt := Metrics{
+		Phases:        map[string]int{},
+		Passivations:  m.passivations,
+		Reactivations: m.reactivations,
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		stt := s.Status()
+		mt.Sessions++
+		mt.Phases[stt.Phase]++
+		if stt.Phase == PhasePassivated.String() {
+			mt.Passivated++
+		}
+		mt.PoolBytes += stt.PoolBytes
+		if st != nil && stt.Durable {
+			if size, err := st.Size(stt.ID); err == nil {
+				mt.JournalBytes += size
+			}
+		}
+	}
+	return mt
 }
 
 // List returns a status snapshot of every open session, sorted by id.

@@ -118,15 +118,6 @@ func (m *Manager) recoverOne(st *journal.Store, id string, rep *RecoveryReport) 
 	if tailErr != nil {
 		warnf("ignoring damaged tail: %v", tailErr)
 	}
-	if recs[0].Type != journal.TypeCreated {
-		skip("log starts with %s, want created", recs[0].Type)
-		return
-	}
-	var created journal.Created
-	if err := json.Unmarshal(recs[0].Body, &created); err != nil {
-		skip("created record: %v", err)
-		return
-	}
 	// A closed record anywhere means the client ended the campaign for
 	// good; the log is only still here because the file removal lost a
 	// race with a crash.
@@ -139,20 +130,9 @@ func (m *Manager) recoverOne(st *journal.Store, id string, rep *RecoveryReport) 
 			return
 		}
 	}
-	cfg, err := configFromRecord(created)
+	s, rounds, err := m.rebuild(recs)
 	if err != nil {
 		skip("%v", err)
-		return
-	}
-	s, err := m.buildSession(cfg)
-	if err != nil {
-		skip("rebuild: %v", err)
-		return
-	}
-	rounds, err := replay(s, recs[1:])
-	if err != nil {
-		s.release()
-		skip("replay: %v", err)
 		return
 	}
 	// The session is good: now truncate the damaged tail (if any) and
@@ -171,12 +151,47 @@ func (m *Manager) recoverOne(st *journal.Store, id string, rep *RecoveryReport) 
 		return
 	}
 	s.id = id
-	s.attachJournal(res.Writer)
+	s.attachJournal(res.Writer, st)
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
 	rep.Recovered++
 	rep.Rounds += rounds
+}
+
+// rebuild constructs a fresh session from a log's records — the created
+// record resolves to a Config exactly as Create saw it, then every
+// proposal/observation is replayed through the deterministic engine —
+// and returns it with the number of rounds replayed. It is the shared
+// core of crash recovery (recoverOne) and idle reactivation
+// (Manager.reactivate); the session comes back unjournaled and
+// unregistered, with any partially built state released on failure.
+func (m *Manager) rebuild(recs []journal.Record) (*Session, int, error) {
+	if len(recs) == 0 || recs[0].Type != journal.TypeCreated {
+		got := journal.Type(0)
+		if len(recs) > 0 {
+			got = recs[0].Type
+		}
+		return nil, 0, fmt.Errorf("log starts with %s, want created", got)
+	}
+	var created journal.Created
+	if err := json.Unmarshal(recs[0].Body, &created); err != nil {
+		return nil, 0, fmt.Errorf("created record: %w", err)
+	}
+	cfg, err := configFromRecord(created)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, err := m.buildSession(cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rebuild: %w", err)
+	}
+	rounds, err := replay(s, recs[1:])
+	if err != nil {
+		s.release()
+		return nil, 0, fmt.Errorf("replay: %w", err)
+	}
+	return s, rounds, nil
 }
 
 // replay re-executes a session's journaled transitions against a freshly

@@ -45,6 +45,24 @@
 // is verified byte-for-byte against the journaled one — a session whose
 // environment changed under the journal is skipped with a warning, not
 // silently resumed into a diverged campaign.
+//
+// # Idle passivation
+//
+// The same journal doubles as a memory-management tool. A manager built
+// with WithIdleTTL sweeps its table and passivates durable sessions no
+// client call has touched for the TTL: the session's engine, mRR pool
+// and residual-graph state — the dominant per-session memory — are
+// released while the log on disk remains the authoritative state. The
+// next Manager.Session lookup reactivates the session transparently by
+// replaying the log, and by the determinism contract the reactivated
+// session proposes byte-identical batches:
+//
+//	mgr := serve.NewManager(reg, 0,
+//	    serve.WithJournalDir("wal"), serve.WithIdleTTL(30*time.Minute))
+//
+// Manager.Metrics reports the roll-up (sessions by phase, passivation
+// and reactivation counters, estimated pool bytes in RAM and journal
+// bytes on disk) for monitoring endpoints.
 package serve
 
 import (

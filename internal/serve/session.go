@@ -27,6 +27,12 @@ const (
 	PhaseDone
 	// PhaseClosed means Close was called; the session accepts no calls.
 	PhaseClosed
+	// PhasePassivated means an idle sweep released the session's engine
+	// and pool; its state lives in the journal. The manager reactivates
+	// the session transparently on the next Manager.Session lookup —
+	// only stale pointers to the passivated object observe this phase
+	// (their calls return ErrPassivated).
+	PhasePassivated
 )
 
 // String returns the phase's wire name.
@@ -40,6 +46,8 @@ func (p Phase) String() string {
 		return "done"
 	case PhaseClosed:
 		return "closed"
+	case PhasePassivated:
+		return "passivated"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -58,6 +66,11 @@ var (
 	// ErrNoBatchPending is returned by Observe when no batch awaits
 	// observation (observe-before-next, double-observe).
 	ErrNoBatchPending = errors.New("serve: no batch pending observation")
+	// ErrPassivated is returned by NextBatch/Propose and Observe on a
+	// session object an idle sweep passivated after the caller looked it
+	// up. The session itself is fine — re-fetching it from its manager
+	// (Manager.Session) reactivates it and returns a live object.
+	ErrPassivated = errors.New("serve: session passivated (reacquire it from its manager)")
 )
 
 // Session is one live adaptive-seeding campaign: the residual-graph state
@@ -83,6 +96,8 @@ type Session struct {
 	policy  adaptive.Policy
 	src     *rng.Source
 	jw      *journal.Writer // nil for in-memory sessions (and during replay)
+	store   *journal.Store  // set with jw; lets a passivated close reopen its log
+	mgr     *Manager        // owning manager (nil for NewSession-built sessions)
 
 	phase    Phase
 	round    int
@@ -94,7 +109,19 @@ type Session struct {
 	rounds   []adaptive.RoundTrace
 
 	created    time.Time
+	touched    time.Time // last client-visible call (Propose/Observe/manager lookup)
 	selectTime time.Duration
+
+	// Passivation bookkeeping: how many times an idle sweep released this
+	// campaign's resources (carried across reactivations by the manager),
+	// and — on a passivated object — the status snapshot taken when the
+	// resources were released. passiveCounted means this object holds the
+	// manager's passivated-gauge count for the current episode; exactly
+	// one path (reactivation swap, or a close) may consume it, so the
+	// gauge can neither leak nor go negative whichever wins the race.
+	passivations   int
+	passiveStatus  *Status
+	passiveCounted bool
 }
 
 // NewSession returns a session for one campaign on g: reach eta active
@@ -120,6 +147,7 @@ func NewSession(g *graph.Graph, model diffusion.Model, eta int64, policy adaptiv
 	for i := range inactive {
 		inactive[i] = int32(i)
 	}
+	now := time.Now()
 	return &Session{
 		g:        g,
 		model:    model,
@@ -128,7 +156,8 @@ func NewSession(g *graph.Graph, model diffusion.Model, eta int64, policy adaptiv
 		src:      rng.New(seed),
 		active:   bitset.New(n),
 		inactive: inactive,
-		created:  time.Now(),
+		created:  now,
+		touched:  now,
 	}, nil
 }
 
@@ -161,9 +190,12 @@ func (s *Session) NextBatch() ([]int32, error) {
 func (s *Session) Propose() (Proposal, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.touched = time.Now()
 	switch s.phase {
 	case PhaseClosed:
 		return Proposal{}, ErrClosed
+	case PhasePassivated:
+		return Proposal{}, ErrPassivated
 	case PhaseDone:
 		return Proposal{}, ErrDone
 	case PhaseObserve:
@@ -239,9 +271,12 @@ type Progress struct {
 func (s *Session) Observe(activated []int32) (Progress, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.touched = time.Now()
 	switch s.phase {
 	case PhaseClosed:
 		return Progress{}, ErrClosed
+	case PhasePassivated:
+		return Progress{}, ErrPassivated
 	case PhasePropose, PhaseDone:
 		return Progress{}, ErrNoBatchPending
 	}
@@ -331,8 +366,22 @@ type Status struct {
 	// Done reports whether η has been reached.
 	Done bool
 	// Durable reports whether the session is journaled (its state
-	// survives a process restart via Manager.Recover).
+	// survives a process restart via Manager.Recover). Passivated
+	// sessions report true: passivation is only available to journaled
+	// sessions, and the journal is exactly where their state lives.
 	Durable bool
+	// Passivations counts how many times an idle sweep passivated this
+	// session (carried across reactivations and reported even while the
+	// session is passivated; reset by a process restart).
+	Passivations int
+	// PoolBytes estimates the heap bytes held by the session's sampling
+	// pool (0 for passivated sessions — releasing that memory is what
+	// passivation is for). Manager.Metrics rolls the estimates up into a
+	// service-level gauge.
+	PoolBytes int64
+	// IdleSeconds is the time since the session was last touched by a
+	// client call (proposal, observation, or manager lookup).
+	IdleSeconds float64
 	// SelectSeconds is the cumulative policy-side selection time.
 	// Replayed rounds re-run selection, so after a recovery this restarts
 	// near the pre-crash value but is not byte-identical to it.
@@ -343,6 +392,18 @@ type Status struct {
 func (s *Session) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+// statusLocked builds the Status snapshot; callers hold s.mu. For a
+// passivated session it serves the snapshot taken at passivation time
+// (the live state is on disk), with the idle clock still running.
+func (s *Session) statusLocked() Status {
+	if s.passiveStatus != nil {
+		st := *s.passiveStatus
+		st.IdleSeconds = time.Since(s.touched).Seconds()
+		return st
+	}
 	st := Status{
 		ID:            s.id,
 		Dataset:       s.dataset,
@@ -356,6 +417,9 @@ func (s *Session) Status() Status {
 		Activated:     s.activatedLocked(),
 		Done:          s.phase == PhaseDone,
 		Durable:       s.jw != nil,
+		Passivations:  s.passivations,
+		PoolBytes:     s.poolBytesLocked(),
+		IdleSeconds:   time.Since(s.touched).Seconds(),
 		SelectSeconds: s.selectTime.Seconds(),
 	}
 	if s.pending != nil {
@@ -368,12 +432,32 @@ func (s *Session) Status() Status {
 	return st
 }
 
+// poolBytesLocked estimates the policy's sampling-pool memory (0 when
+// the policy does not account for itself); callers hold s.mu.
+func (s *Session) poolBytesLocked() int64 {
+	if p, ok := s.policy.(interface{ PoolBytes() int64 }); ok {
+		return p.PoolBytes()
+	}
+	return 0
+}
+
 // Result converts a finished session into the adaptive.Result shape the
 // batch evaluators report, so served campaigns and offline runs can be
-// compared with the same tooling.
+// compared with the same tooling. On a passivated session object the
+// per-round traces live in the journal, so Result reports the snapshot
+// totals with nil Seeds/Rounds — reacquire the session from its manager
+// first for the full trace.
 func (s *Session) Result() *adaptive.Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.passiveStatus != nil {
+		return &adaptive.Result{
+			Policy:     s.passiveStatus.Policy,
+			Spread:     s.passiveStatus.Activated,
+			ReachedEta: s.passiveStatus.Done,
+			Duration:   s.selectTime,
+		}
+	}
 	spread := s.activatedLocked()
 	return &adaptive.Result{
 		Policy:     s.policy.Name(),
@@ -405,14 +489,24 @@ func (s *Session) release() {
 	s.closeSession(false)
 }
 
-// closeSession implements Close/release; mark journals the closed record.
-func (s *Session) closeSession(mark bool) {
+// closeSession implements Close/release; mark journals the closed
+// record. It reports whether the session was passivated when the close
+// landed — decided under s.mu, so a close racing the idle sweep learns
+// the truth (the manager must then commit the closed record itself: a
+// passivated session has no writer to append it to).
+func (s *Session) closeSession(mark bool) (wasPassivated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.phase == PhaseClosed {
-		return
+		return false
 	}
+	wasPassivated = s.phase == PhasePassivated
 	s.phase = PhaseClosed
+	if s.passiveStatus != nil {
+		// A passivated stub keeps serving its frozen snapshot; closing it
+		// must at least stop advertising the session as reactivatable.
+		s.passiveStatus.Phase = PhaseClosed.String()
+	}
 	s.pending = nil
 	if s.jw != nil {
 		if mark {
@@ -423,9 +517,42 @@ func (s *Session) closeSession(mark bool) {
 		_ = s.jw.Close()
 		s.jw = nil
 	}
+	if wasPassivated && s.passiveCounted {
+		// This close ends the passivation episode (no reactivation consumed
+		// it first — the flag decides the race exactly once, under s.mu).
+		s.passiveCounted = false
+		if mark {
+			// A passivated session has no live writer, so the closed-record
+			// append above was skipped: reopen the log and commit one, or a
+			// lost unlink would resurrect a deliberately closed campaign on
+			// the next Recover. (mark=false is shutdown — the log must stay
+			// recoverable, and CloseAll resets the gauge itself.)
+			if s.store != nil && s.id != "" {
+				if res, err := s.store.Resume(s.id); err == nil {
+					_ = res.Writer.Append(journal.TypeClosed, nil)
+					_ = res.Writer.Close()
+				}
+			}
+			if s.mgr != nil {
+				s.mgr.notePassivatedClosed()
+			}
+		}
+	}
 	if c, ok := s.policy.(interface{ Close() }); ok {
 		c.Close()
 	}
+	return wasPassivated
+}
+
+// consumePassiveCount atomically claims the session's passivated-gauge
+// count for the caller (the reactivation swap); it reports false if a
+// concurrent close claimed it first.
+func (s *Session) consumePassiveCount() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.passiveCounted
+	s.passiveCounted = false
+	return c
 }
 
 // failLocked poisons the session after a journal append failure: the
@@ -446,12 +573,88 @@ func (s *Session) failLocked(err error) error {
 	return err
 }
 
+// passivate releases the session's live resources — policy engine, mRR
+// pool, journal writer, residual-graph state — while its journal stays
+// on disk, and freezes a status snapshot for List/metrics. It reports
+// whether the session was passivated: only durable (journaled) sessions
+// in a steady phase qualify; closed, already-passivated, or in-memory
+// sessions are left alone, as are sessions touched less than minIdle
+// before now (the idleness re-check runs under s.mu, so a client call
+// that slips in between the sweep's candidate scan and this lock keeps
+// its session live instead of paying a pointless replay; minIdle 0
+// forces). Reactivation is the manager's job (replay the log through a
+// fresh session); stale pointers to this object get ErrPassivated.
+func (s *Session) passivate(now time.Time, minIdle time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase == PhaseClosed || s.phase == PhasePassivated || s.jw == nil {
+		return false
+	}
+	if minIdle > 0 && now.Sub(s.touched) < minIdle {
+		return false
+	}
+	snap := s.statusLocked()
+	snap.Phase = PhasePassivated.String()
+	snap.Passivations++
+	snap.PoolBytes = 0
+	s.passiveStatus = &snap
+	s.passivations++
+	s.phase = PhasePassivated
+	// Count the episode in the manager's gauge before releasing s.mu: a
+	// reactivation can only observe PhasePassivated (and later decrement)
+	// after this lock drops, so the gauge never dips negative. Lock order
+	// is s.mu → m.mu here; nothing in the manager takes a session lock
+	// while holding m.mu.
+	s.passiveCounted = true
+	if s.mgr != nil {
+		s.mgr.notePassivated()
+	}
+	// No closed record: the log must stay replayable. Everything the
+	// session holds beyond the snapshot is reconstructed from it.
+	_ = s.jw.Close()
+	s.jw = nil
+	s.active = nil
+	s.inactive = nil
+	s.delta = nil
+	s.pending = nil
+	s.seeds = nil
+	s.rounds = nil
+	if c, ok := s.policy.(interface{ Close() }); ok {
+		c.Close()
+	}
+	return true
+}
+
+// passivated reports whether the session is currently passivated.
+func (s *Session) passivated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phase == PhasePassivated
+}
+
+// touch refreshes the idle clock (manager lookups count as activity).
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.touched = time.Now()
+	s.mu.Unlock()
+}
+
+// idleFor returns how long the session has been untouched.
+func (s *Session) idleFor(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.touched)
+}
+
 // attachJournal arms write-ahead logging (used by the Manager after the
-// created record is committed, and after a successful replay).
-func (s *Session) attachJournal(w *journal.Writer) {
+// created record is committed, and after a successful replay). The
+// store is remembered so a close landing on a passivated session — whose
+// writer is gone — can reopen the log for its closed record.
+func (s *Session) attachJournal(w *journal.Writer, st *journal.Store) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jw = w
+	s.store = st
 }
 
 // activatedLocked returns the active-node count; callers hold s.mu.

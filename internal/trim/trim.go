@@ -232,6 +232,17 @@ func (p *Policy) PoolSize() int {
 	return p.coll.Size()
 }
 
+// PoolBytes estimates the heap bytes held by the policy's mRR pool (0
+// before the first round, and again after Close). The serve layer reads
+// it through the session's status for per-session memory accounting;
+// see rrset.Collection.MemoryBytes for what the estimate covers.
+func (p *Policy) PoolBytes() int64 {
+	if p.coll == nil {
+		return 0
+	}
+	return p.coll.MemoryBytes()
+}
+
 // strategy returns the configured root strategy.
 func (p *Policy) strategy() rrset.RootStrategy {
 	if p.cfg.Truncated {

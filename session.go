@@ -1,6 +1,8 @@
 package asti
 
 import (
+	"time"
+
 	"asti/internal/serve"
 )
 
@@ -107,4 +109,24 @@ func NewSessionManager(reg *SessionRegistry, limit int, opts ...SessionManagerOp
 // the measured overhead and recovery latency.
 func WithJournalDir(dir string) SessionManagerOption {
 	return serve.WithJournalDir(dir)
+}
+
+// WithIdleTTL adds idle-session passivation to a durable SessionManager
+// (it requires WithJournalDir; in-memory sessions are never passivated).
+// A background sweep releases the engine, sampling pool, and
+// residual-graph state of any session no client call has touched for
+// ttl — the dominant per-session memory — while its write-ahead log
+// keeps the state on disk. The next SessionManager.Session lookup
+// reactivates the session transparently by replaying the log; by the
+// serve determinism contract the reactivated session proposes
+// byte-identical batches to one that was never passivated:
+//
+//	mgr := asti.NewSessionManager(reg, 0,
+//	    asti.WithJournalDir("wal"), asti.WithIdleTTL(30*time.Minute))
+//
+// Reactivation costs one log replay (see the passivation curve in
+// BENCH_serve.json); SessionManager.Metrics reports the passivation
+// counters and the memory reclaimed.
+func WithIdleTTL(ttl time.Duration) SessionManagerOption {
+	return serve.WithIdleTTL(ttl)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"asti"
 )
@@ -118,6 +119,70 @@ func ExampleWithJournalDir() {
 	// Output:
 	// recovered sessions: 1
 	// resumed at round: 1 phase: propose durable: true
+	// round after resume: 2
+}
+
+// ExampleWithIdleTTL shows idle-session passivation: a durable session
+// parked by the sweep (forced here with Passivate, so the example does
+// not depend on timing) frees its engine and pool, and the next manager
+// lookup reactivates it from the journal with identical state.
+func ExampleWithIdleTTL() {
+	dir, err := os.MkdirTemp("", "asti-wal")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	reg := asti.NewSessionRegistry()
+	b := asti.NewGraphBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g, err := b.Build("chain", true)
+	if err != nil {
+		panic(err)
+	}
+	if err := reg.RegisterGraph("chain", g); err != nil {
+		panic(err)
+	}
+
+	mgr := asti.NewSessionManager(reg, 0,
+		asti.WithJournalDir(dir), asti.WithIdleTTL(time.Hour))
+	defer mgr.CloseAll()
+	s, err := mgr.Create(asti.SessionConfig{Dataset: "chain", Eta: 4, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	batch, err := s.NextBatch()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := s.Observe(batch); err != nil {
+		panic(err)
+	}
+	id := s.ID()
+
+	// The hourly sweep would do this on its own; force it for the example.
+	if _, err := mgr.Passivate(id); err != nil {
+		panic(err)
+	}
+	fmt.Println("passivated sessions:", mgr.Metrics().Passivated)
+
+	// Any lookup transparently reactivates by replaying the journal.
+	resumed, err := mgr.Session(id)
+	if err != nil {
+		panic(err)
+	}
+	st := resumed.Status()
+	fmt.Println("resumed at round:", st.Round, "phase:", st.Phase, "passivations:", st.Passivations)
+	if _, err := resumed.NextBatch(); err != nil {
+		panic(err)
+	}
+	fmt.Println("round after resume:", resumed.Status().Round)
+	// Output:
+	// passivated sessions: 1
+	// resumed at round: 1 phase: propose passivations: 1
 	// round after resume: 2
 }
 
