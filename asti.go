@@ -59,6 +59,7 @@ import (
 	"asti/internal/graph"
 	"asti/internal/im"
 	"asti/internal/rng"
+	"asti/internal/rrset"
 	"asti/internal/topics"
 	"asti/internal/trim"
 )
@@ -134,8 +135,9 @@ func GenerateDataset(name string, scale float64) (*Graph, error) {
 type Option func(*options)
 
 type options struct {
-	workers int
-	reuse   bool
+	workers    int
+	reuse      bool
+	samplerVer rrset.Version
 }
 
 // WithWorkers sizes the sampling engine's worker pool: 0 (the default)
@@ -155,6 +157,16 @@ func WithPoolReuse(on bool) Option {
 	return func(o *options) { o.reuse = on }
 }
 
+// WithSamplerVersion pins the sampler's stream-consumption contract
+// (1 = the original per-edge-coin stream, 2 = geometric edge-coin
+// skipping on uniform-probability IC blocks; 0 = the current default).
+// Selections are identically distributed under every version — the knob
+// exists for byte-exact reproduction of runs recorded under an older
+// contract (e.g. replaying a serve-layer journal written by v1).
+func WithSamplerVersion(v int) Option {
+	return func(o *options) { o.samplerVer = rrset.Version(v) }
+}
+
 func applyOptions(opts []Option) options {
 	o := options{reuse: true}
 	for _, fn := range opts {
@@ -168,14 +180,16 @@ func applyOptions(opts []Option) options {
 // per-round guarantee and the (lnη+1)²/((1−1/e)(1−ε)) overall ratio.
 func NewASTI(epsilon float64, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: o.workers, ReusePool: o.reuse})
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true, Workers: o.workers,
+		ReusePool: o.reuse, SamplerVersion: o.samplerVer})
 }
 
 // NewASTIBatch returns the TRIM-B policy selecting b seeds per round
 // (guarantee scaled by ρ_b = 1−(1−1/b)^b).
 func NewASTIBatch(epsilon float64, b int, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: o.workers, ReusePool: o.reuse})
+	return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: o.workers,
+		ReusePool: o.reuse, SamplerVersion: o.samplerVer})
 }
 
 // NewAdaptIM returns the adaptive influence-maximization baseline: greedy
@@ -183,7 +197,7 @@ func NewASTIBatch(epsilon float64, b int, opts ...Option) (Policy, error) {
 // paper's §6 comparison).
 func NewAdaptIM(epsilon float64, opts ...Option) (Policy, error) {
 	o := applyOptions(opts)
-	return baselines.NewAdaptIM(epsilon, 0, o.workers, o.reuse)
+	return baselines.NewAdaptIM(epsilon, 0, o.workers, o.reuse, o.samplerVer)
 }
 
 // SampleRealization draws one influence world for g under the model.

@@ -173,7 +173,7 @@ func makePolicy(name string, epsilon float64, workers int, reuse bool) (adaptive
 		}
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true, Workers: workers, ReusePool: reuse})
 	case lower == "adaptim":
-		return baselines.NewAdaptIM(epsilon, 0, workers, reuse)
+		return baselines.NewAdaptIM(epsilon, 0, workers, reuse, 0)
 	case lower == "mcgreedy":
 		return &baselines.MCGreedy{Samples: 500, Truncated: true}, nil
 	case lower == "celf":

@@ -31,30 +31,35 @@ type createRequest struct {
 	Workers int     `json:"workers,omitempty"`
 	// DisablePoolReuse opts the session out of cross-round sampling-pool
 	// reuse (on by default; proposals are identical either way).
-	DisablePoolReuse bool   `json:"disable_pool_reuse,omitempty"`
-	Seed             uint64 `json:"seed"`
+	DisablePoolReuse bool `json:"disable_pool_reuse,omitempty"`
+	// SamplerVersion pins the sampler stream contract (0 = server
+	// default, currently v2). Set 1 to reproduce pre-versioning
+	// proposal streams byte-for-byte.
+	SamplerVersion int    `json:"sampler_version,omitempty"`
+	Seed           uint64 `json:"seed"`
 }
 
 // statusResponse mirrors serve.Status on the wire.
 type statusResponse struct {
-	ID            string  `json:"id"`
-	Dataset       string  `json:"dataset"`
-	Policy        string  `json:"policy"`
-	Model         string  `json:"model"`
-	N             int64   `json:"n"`
-	Eta           int64   `json:"eta"`
-	Phase         string  `json:"phase"`
-	Round         int     `json:"round"`
-	Pending       []int32 `json:"pending,omitempty"`
-	Seeds         int     `json:"seeds"`
-	Activated     int64   `json:"activated"`
-	EtaI          int64   `json:"eta_i"`
-	Done          bool    `json:"done"`
-	Durable       bool    `json:"durable"`
-	Passivations  int     `json:"passivations"`
-	PoolBytes     int64   `json:"pool_bytes"`
-	IdleSeconds   float64 `json:"idle_seconds"`
-	SelectSeconds float64 `json:"select_seconds"`
+	ID             string  `json:"id"`
+	Dataset        string  `json:"dataset"`
+	SamplerVersion int     `json:"sampler_version"`
+	Policy         string  `json:"policy"`
+	Model          string  `json:"model"`
+	N              int64   `json:"n"`
+	Eta            int64   `json:"eta"`
+	Phase          string  `json:"phase"`
+	Round          int     `json:"round"`
+	Pending        []int32 `json:"pending,omitempty"`
+	Seeds          int     `json:"seeds"`
+	Activated      int64   `json:"activated"`
+	EtaI           int64   `json:"eta_i"`
+	Done           bool    `json:"done"`
+	Durable        bool    `json:"durable"`
+	Passivations   int     `json:"passivations"`
+	PoolBytes      int64   `json:"pool_bytes"`
+	IdleSeconds    float64 `json:"idle_seconds"`
+	SelectSeconds  float64 `json:"select_seconds"`
 }
 
 // healthResponse is the body of GET /healthz.
@@ -172,6 +177,7 @@ func (sv *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Epsilon:          req.Epsilon,
 		Workers:          req.Workers,
 		DisablePoolReuse: req.DisablePoolReuse,
+		SamplerVersion:   req.SamplerVersion,
 		Seed:             req.Seed,
 	})
 	if err != nil {
@@ -363,24 +369,25 @@ func stepStatus(err error) int {
 
 func toStatusResponse(st serve.Status) statusResponse {
 	return statusResponse{
-		ID:            st.ID,
-		Dataset:       st.Dataset,
-		Policy:        st.Policy,
-		Model:         st.Model,
-		N:             st.N,
-		Eta:           st.Eta,
-		Phase:         st.Phase,
-		Round:         st.Round,
-		Pending:       st.Pending,
-		Seeds:         st.Seeds,
-		Activated:     st.Activated,
-		EtaI:          st.EtaI,
-		Done:          st.Done,
-		Durable:       st.Durable,
-		Passivations:  st.Passivations,
-		PoolBytes:     st.PoolBytes,
-		IdleSeconds:   st.IdleSeconds,
-		SelectSeconds: st.SelectSeconds,
+		ID:             st.ID,
+		Dataset:        st.Dataset,
+		SamplerVersion: st.SamplerVersion,
+		Policy:         st.Policy,
+		Model:          st.Model,
+		N:              st.N,
+		Eta:            st.Eta,
+		Phase:          st.Phase,
+		Round:          st.Round,
+		Pending:        st.Pending,
+		Seeds:          st.Seeds,
+		Activated:      st.Activated,
+		EtaI:           st.EtaI,
+		Done:           st.Done,
+		Durable:        st.Durable,
+		Passivations:   st.Passivations,
+		PoolBytes:      st.PoolBytes,
+		IdleSeconds:    st.IdleSeconds,
+		SelectSeconds:  st.SelectSeconds,
 	}
 }
 

@@ -35,8 +35,10 @@ import (
 // NewAdaptIM returns the AdaptIM baseline: the trim machinery with the
 // vanilla-spread objective and single-root RR-sets. workers sizes the
 // sampling engine's pool (0 = GOMAXPROCS, 1 = sequential); reuse carries
-// the RR pool across rounds (speed only — selections are identical).
-func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int, reuse bool) (*trim.Policy, error) {
+// the RR pool across rounds (speed only — selections are identical);
+// samplerVersion pins the sampler stream contract (0 = the current
+// default; journaled sessions pass the version recorded at creation).
+func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int, reuse bool, samplerVersion rrset.Version) (*trim.Policy, error) {
 	return trim.New(trim.Config{
 		Epsilon:         epsilon,
 		Batch:           1,
@@ -44,6 +46,7 @@ func NewAdaptIM(epsilon float64, maxSetsPerRound int64, workers int, reuse bool)
 		MaxSetsPerRound: maxSetsPerRound,
 		Workers:         workers,
 		ReusePool:       reuse,
+		SamplerVersion:  samplerVersion,
 	})
 }
 

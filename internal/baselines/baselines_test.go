@@ -84,7 +84,7 @@ func TestATEUCMoreSeedsForHigherEta(t *testing.T) {
 
 func TestAdaptIMPolicy(t *testing.T) {
 	g := testGraph(t)
-	p, err := NewAdaptIM(0.5, 0, 0, true)
+	p, err := NewAdaptIM(0.5, 0, 0, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"asti/internal/gen"
 	"asti/internal/graph"
 	"asti/internal/rng"
+	"asti/internal/rrset"
 	"asti/internal/serve"
 )
 
@@ -79,6 +80,9 @@ type ServePerfReport struct {
 	N          int64   `json:"n"`
 	Eta        int64   `json:"eta"`
 	Epsilon    float64 `json:"epsilon"`
+	// SamplerVersion is the sampler stream contract the sessions ran
+	// under (the manager default at measurement time).
+	SamplerVersion int `json:"sampler_version"`
 	// Steps compares per-step latency with and without the journal on
 	// otherwise identical sessions fed identical observations.
 	Steps []StepLatency `json:"steps"`
@@ -203,6 +207,7 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 		N:                   int64(g.N()),
 		Eta:                 eta,
 		Epsilon:             r.Profile.Epsilon,
+		SamplerVersion:      int(rrset.DefaultVersion),
 		Steps:               []StepLatency{mem, jrn},
 		OverheadP50Seconds:  jrn.P50Seconds - mem.P50Seconds,
 		IdenticalSelections: identical,

@@ -16,6 +16,7 @@ import (
 	"asti/internal/gen"
 	"asti/internal/graph"
 	"asti/internal/rng"
+	"asti/internal/rrset"
 	"asti/internal/trim"
 )
 
@@ -48,6 +49,11 @@ type PerfRun struct {
 	// SetsGenerated / SetsReused total the per-round pool activity.
 	SetsGenerated int64 `json:"sets_generated"`
 	SetsReused    int64 `json:"sets_reused"`
+	// RngDraws counts the random draws the samplers consumed — the
+	// direct readout of what geometric edge-coin skipping saves (v2
+	// draws far fewer than v1 on uniform-probability blocks while
+	// selecting the same seeds).
+	RngDraws int64 `json:"rng_draws"`
 	// P50RoundSeconds / P99RoundSeconds are round-latency percentiles.
 	P50RoundSeconds float64 `json:"p50_round_seconds"`
 	P99RoundSeconds float64 `json:"p99_round_seconds"`
@@ -70,6 +76,9 @@ type PerfReport struct {
 	Epsilon      float64 `json:"epsilon"`
 	Realizations int     `json:"realizations"`
 	Workers      int     `json:"workers"`
+	// SamplerVersion is the sampler stream contract the runs used
+	// (reports from different versions are not comparable draw-for-draw).
+	SamplerVersion int `json:"sampler_version"`
 	// Speedup is reset selection time over reuse selection time.
 	Speedup float64 `json:"speedup"`
 	// IdenticalSelections reports the determinism contract held: both
@@ -278,6 +287,7 @@ func (r *Runner) trimReuse(w io.Writer) error {
 			pr.Seconds += res.Duration.Seconds()
 			pr.SetsGenerated += pol.Stats.Sets
 			pr.SetsReused += pol.Stats.SetsReused
+			pr.RngDraws += pol.Stats.RngDraws
 			if pol.Stats.PeakPoolSize > pr.PeakPoolSize {
 				pr.PeakPoolSize = pol.Stats.PeakPoolSize
 			}
@@ -335,6 +345,7 @@ func (r *Runner) trimReuse(w io.Writer) error {
 		Epsilon:             r.Profile.Epsilon,
 		Realizations:        len(worlds),
 		Workers:             r.Profile.Workers,
+		SamplerVersion:      int(rrset.DefaultVersion),
 		IdenticalSelections: identical,
 		Runs:                []PerfRun{*reuseRun, *resetRun},
 		ReuseRounds:         reuseRounds,

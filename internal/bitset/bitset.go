@@ -28,6 +28,14 @@ func New(n int) *Set {
 // Len returns the capacity in bits.
 func (s *Set) Len() int { return s.n }
 
+// Words exposes the backing word array (bit i lives at words[i>>6], mask
+// 1<<(i&63)). Hot loops hoist it into a local once so per-probe access
+// is a direct indexed load, with no re-deref of the Set pointer that the
+// compiler cannot prove unaliased. The slice aliases the Set's storage:
+// writes through it are writes to the Set, and it goes stale only if the
+// Set is reallocated (never — sets are fixed-capacity).
+func (s *Set) Words() []uint64 { return s.words }
+
 // Get reports whether bit i is set.
 func (s *Set) Get(i int32) bool {
 	return s.words[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
@@ -47,9 +55,15 @@ func (s *Set) Clear(i int32) {
 func (s *Set) TestAndSet(i int32) bool {
 	w := uint32(i) >> 6
 	mask := uint64(1) << (uint32(i) & 63)
-	old := s.words[w]&mask != 0
-	s.words[w] |= mask
-	return old
+	word := s.words[w]
+	if word&mask != 0 {
+		return true
+	}
+	// Store only when the bit actually flips: callers probe mostly-set
+	// words in hot loops, and an unconditional |= would dirty the cache
+	// line on every probe.
+	s.words[w] = word | mask
+	return false
 }
 
 // Reset clears every bit.

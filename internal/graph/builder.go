@@ -121,6 +121,7 @@ func (b *Builder) Build(name string, directed bool) (*Graph, error) {
 			g.inProb[slot] = g.outProb[i]
 		}
 	}
+	g.finalizeInEdges()
 	return g, nil
 }
 

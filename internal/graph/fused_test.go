@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"testing"
+
+	"asti/internal/rng"
+)
+
+// checkFused asserts the fused in-edge stream is byte-identical to the
+// split (InNeighbors, InProbs) views and that the uniform flags match a
+// direct scan of the probabilities.
+func checkFused(t *testing.T, g *Graph, label string) {
+	t.Helper()
+	for v := int32(0); v < g.N(); v++ {
+		ins := g.InNeighbors(v)
+		probs := g.InProbs(v)
+		fused := g.InEdges(v)
+		if len(fused) != len(ins) {
+			t.Fatalf("%s: node %d: fused degree %d, split degree %d", label, v, len(fused), len(ins))
+		}
+		uniform := true
+		for i, e := range fused {
+			if e.Src != ins[i] || e.P != probs[i] {
+				t.Fatalf("%s: node %d edge %d: fused {%d,%v}, split {%d,%v}",
+					label, v, i, e.Src, e.P, ins[i], probs[i])
+			}
+			if probs[i] != probs[0] {
+				uniform = false
+			}
+		}
+		if g.InUniform(v) != uniform {
+			t.Fatalf("%s: node %d: InUniform=%v, scan says %v (probs %v)",
+				label, v, g.InUniform(v), uniform, probs)
+		}
+	}
+}
+
+// TestFusedLayoutMatchesSplitArrays is the property test over randomized
+// graphs: after Build and after every probability mutator, the fused
+// layout must agree element-for-element with the split arrays and the
+// uniform flags with a direct scan.
+func TestFusedLayoutMatchesSplitArrays(t *testing.T) {
+	r := rng.New(0xF05ED)
+	for trial := 0; trial < 25; trial++ {
+		n := int32(2 + r.Intn(40))
+		b := NewBuilder(n)
+		edges := r.Intn(4 * int(n))
+		for e := 0; e < edges; e++ {
+			u := r.Int31n(n)
+			v := r.Int31n(n)
+			if u == v {
+				continue
+			}
+			// Mix uniform and non-uniform probabilities so both flag
+			// polarities occur.
+			p := 0.3
+			if r.Bernoulli(0.5) {
+				p = 0.05 + 0.9*r.Float64()
+			}
+			b.AddEdge(u, v, p)
+		}
+		g, err := b.Build("fused-prop", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFused(t, g, "build")
+
+		g.ApplyWeightedCascade()
+		checkFused(t, g, "weighted-cascade")
+		for v := int32(0); v < g.N(); v++ {
+			if g.InDegree(v) > 0 && !g.InUniform(v) {
+				t.Fatalf("weighted cascade: node %d block not uniform", v)
+			}
+		}
+
+		if err := g.ApplyUniformProb(0.1); err != nil {
+			t.Fatal(err)
+		}
+		checkFused(t, g, "uniform")
+		for v := int32(0); v < g.N(); v++ {
+			if !g.InUniform(v) {
+				t.Fatalf("uniform prob: node %d block not uniform", v)
+			}
+		}
+
+		g.ApplyTrivalency(uint64(trial))
+		checkFused(t, g, "trivalency")
+	}
+}

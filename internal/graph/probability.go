@@ -28,4 +28,5 @@ func (g *Graph) ApplyTrivalency(seed uint64) {
 			g.inProb[off+int64(i)] = pick(u, v)
 		}
 	}
+	g.finalizeInEdges()
 }

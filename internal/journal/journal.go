@@ -98,6 +98,14 @@ type Created struct {
 	MaxSetsPerRound int64 `json:"max_sets_per_round,omitempty"`
 	// DisablePoolReuse turns off cross-round pool reuse (speed only).
 	DisablePoolReuse bool `json:"disable_pool_reuse,omitempty"`
+	// SamplerVersion pins the sampler stream contract the session was
+	// created under; replay must run the same version to reproduce the
+	// journaled proposals byte-for-byte. Create always records a resolved
+	// (non-zero) version; logs written before versioning existed carry no
+	// field and decode to 0, which recovery maps to version 1 — the only
+	// contract that existed then — so old WALs keep replaying exactly
+	// even after the default moves on.
+	SamplerVersion int `json:"sampler_version,omitempty"`
 	// Seed fixes the session's sampling randomness.
 	Seed uint64 `json:"seed"`
 }

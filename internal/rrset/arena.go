@@ -1,0 +1,94 @@
+package rrset
+
+// defaultSlabInts is the capacity of a standard arena slab (256 KiB of
+// int32s): large enough that slab-boundary waste is negligible against
+// mean mRR-set sizes, small enough that an idle pool does not pin
+// megabytes.
+const defaultSlabInts = 1 << 16
+
+// setRef addresses one contiguous allocation inside an arena: slab
+// index plus offset within the slab.
+type setRef struct {
+	slab int32
+	off  int32
+}
+
+// arena is a slab allocator for set payloads. A single backing slice
+// would copy every established set each time append doubles it; the
+// arena instead grows by whole slabs, so placed sets never move
+// (grow-without-copy) and Set(id) aliases stay valid across growth.
+// Each allocation is contiguous inside one slab — an allocation larger
+// than the slab size gets a dedicated oversized slab — and retired
+// slabs are kept on a free list so compaction and regrowth recycle
+// capacity instead of reallocating it.
+type arena struct {
+	slabInts int       // capacity of a standard new slab (0 = defaultSlabInts)
+	slabs    [][]int32 // active slabs; len == used prefix, cap == capacity
+	free     [][]int32 // retired slabs (len 0) kept for reuse
+	used     int64     // Σ len(slabs): entries handed out (live + holes + tail waste is excluded)
+}
+
+// alloc hands out a contiguous block of n entries (contents
+// unspecified; callers overwrite), returning its address and the
+// writable slice. n == 0 still returns a valid reference.
+func (a *arena) alloc(n int) (setRef, []int32) {
+	cur := len(a.slabs) - 1
+	if cur < 0 || cap(a.slabs[cur])-len(a.slabs[cur]) < n {
+		a.pushSlab(n)
+		cur = len(a.slabs) - 1
+	}
+	s := a.slabs[cur]
+	off := len(s)
+	a.slabs[cur] = s[:off+n]
+	a.used += int64(n)
+	return setRef{slab: int32(cur), off: int32(off)}, a.slabs[cur][off : off+n]
+}
+
+// pushSlab activates a slab with capacity ≥ n, recycling the free list
+// before allocating (standard size unless n demands an oversized one).
+func (a *arena) pushSlab(n int) {
+	want := a.slabInts
+	if want <= 0 {
+		want = defaultSlabInts
+	}
+	if n > want {
+		want = n
+	}
+	for i := len(a.free) - 1; i >= 0; i-- {
+		if cap(a.free[i]) >= n {
+			s := a.free[i][:0]
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			a.slabs = append(a.slabs, s)
+			return
+		}
+	}
+	a.slabs = append(a.slabs, make([]int32, 0, want))
+}
+
+// at returns the n-entry block addressed by ref (aliasing the slab).
+func (a *arena) at(ref setRef, n int32) []int32 {
+	return a.slabs[ref.slab][ref.off : ref.off+n]
+}
+
+// reset retires every slab to the free list, keeping all capacity for
+// the next fill.
+func (a *arena) reset() {
+	for i := len(a.slabs) - 1; i >= 0; i-- {
+		a.free = append(a.free, a.slabs[i][:0])
+	}
+	a.slabs = a.slabs[:0]
+	a.used = 0
+}
+
+// capInts returns the total capacity held (active + free slabs), for
+// memory accounting.
+func (a *arena) capInts() int64 {
+	var c int64
+	for _, s := range a.slabs {
+		c += int64(cap(s))
+	}
+	for _, s := range a.free {
+		c += int64(cap(s))
+	}
+	return c
+}

@@ -11,17 +11,18 @@ import (
 // inverted index (node → set ids) for greedy max-coverage. It backs both
 // TRIM (argmax over Λ) and TRIM-B / ATEUC (greedy coverage).
 //
-// Storage is slotted: stored set id's data lives at
-// setData[setStart[id] : setStart[id]+setLen[id]], so Add copies the set
-// instead of taking ownership, and Replace can regenerate one set in place
-// (reusing its hole when the new set fits, appending otherwise; dead bytes
-// are reclaimed by an amortized compaction). The inverted index is a CSR
-// pair built lazily — once per doubling round rather than appended to per
-// set — and every per-node counter touched since the last Reset is
-// remembered in a touched list, making Reset O(touched) instead of O(n).
-// One Collection therefore serves every round of an adaptive run without
-// reallocating, and — through Prune/Replace/Truncate — can carry its pool
-// ACROSS rounds, which is the cross-round reuse optimization behind
+// Storage is slotted over an arena: stored set id's data lives at
+// data.at(setPos[id], setLen[id]), so Add copies the set instead of
+// taking ownership, and Replace can regenerate one set in place (reusing
+// its hole when the new set fits, allocating a fresh slot otherwise;
+// dead entries are reclaimed by an amortized compaction into recycled
+// slabs). The inverted index is a CSR pair built lazily — once per
+// doubling round rather than appended to per set — and every per-node
+// counter touched since the last Reset is remembered in a touched list,
+// making Reset O(touched) instead of O(n). One Collection therefore
+// serves every round of an adaptive run without reallocating, and —
+// through Prune/Replace/Truncate — can carry its pool ACROSS rounds,
+// which is the cross-round reuse optimization behind
 // trim.Config.ReusePool.
 type Collection struct {
 	n     int32
@@ -32,12 +33,12 @@ type Collection struct {
 	touched   []int32 // nodes v whose counter was ever incremented, for O(touched) reset
 	inTouched []bool  // touched-list membership, so Replace never duplicates entries
 
-	// Stored sets, slotted (set id -> setData[setStart[id]:+setLen[id]]).
-	setStart []int64
-	setLen   []int32
-	rootK    []int32 // per-set root count (0 = unknown, never reusable)
-	setData  []int32
-	dead     int64 // bytes of setData no slot references (holes from Replace/Truncate)
+	// Stored sets, slotted (set id -> data.at(setPos[id], setLen[id])).
+	setPos []setRef
+	setLen []int32
+	rootK  []int32 // per-set root count (0 = unknown, never reusable)
+	data   arena
+	dead   int64 // arena entries no slot references (holes from Replace/Truncate)
 
 	// Lazy CSR inverted index over the stored sets: node v's set ids are
 	// idxSets[idxOff[v]:idxOff[v+1]]. Valid while idxBuilt == stored count;
@@ -62,17 +63,21 @@ type Collection struct {
 }
 
 // NewCollection returns an empty Collection over graphs with n nodes.
+// The coverage and index scratch are pre-sized from the graph (n and
+// the n+1 index offsets), so the first rounds never regrow them.
 func NewCollection(g *graph.Graph) *Collection {
 	return &Collection{
 		n:         g.N(),
 		cov:       make([]int64, g.N()),
 		inTouched: make([]bool, g.N()),
+		idxOff:    make([]int64, g.N()+1),
+		nmark:     make([]int64, g.N()),
 		idxBuilt:  -1,
 	}
 }
 
 // stored returns the number of stored (not counts-only) sets.
-func (c *Collection) stored() int { return len(c.setStart) }
+func (c *Collection) stored() int { return len(c.setPos) }
 
 // Stored returns the number of stored (not counts-only) sets.
 func (c *Collection) Stored() int { return c.stored() }
@@ -106,10 +111,11 @@ func (c *Collection) Add(set []int32) { c.AddRooted(set, 0) }
 // Prune's root-size replay compares against; sets added with rootK 0
 // are treated as never reusable under a multi-root strategy.
 func (c *Collection) AddRooted(set []int32, rootK int32) {
-	c.setStart = append(c.setStart, int64(len(c.setData)))
+	ref, buf := c.data.alloc(len(set))
+	copy(buf, set)
+	c.setPos = append(c.setPos, ref)
 	c.setLen = append(c.setLen, int32(len(set)))
 	c.rootK = append(c.rootK, rootK)
-	c.setData = append(c.setData, set...)
 	c.count++
 	c.nodes += int64(len(set))
 	c.covAdd(set)
@@ -137,12 +143,13 @@ func (c *Collection) Replace(id int32, set []int32, rootK int32) {
 	c.covSub(old)
 	c.nodes += int64(len(set)) - int64(len(old))
 	if len(set) <= len(old) {
-		copy(c.setData[c.setStart[id]:], set)
+		copy(old, set)
 		c.dead += int64(len(old) - len(set))
 	} else {
 		c.dead += int64(len(old))
-		c.setStart[id] = int64(len(c.setData))
-		c.setData = append(c.setData, set...)
+		ref, buf := c.data.alloc(len(set))
+		copy(buf, set)
+		c.setPos[id] = ref
 	}
 	c.setLen[id] = int32(len(set))
 	c.rootK[id] = rootK
@@ -169,7 +176,7 @@ func (c *Collection) Truncate(m int) {
 		c.nodes -= int64(len(set))
 		c.dead += int64(len(set))
 	}
-	c.setStart = c.setStart[:m]
+	c.setPos = c.setPos[:m]
 	c.setLen = c.setLen[:m]
 	c.rootK = c.rootK[:m]
 	c.count = m
@@ -177,26 +184,30 @@ func (c *Collection) Truncate(m int) {
 	c.maybeCompact()
 }
 
-// maybeCompact rewrites setData without holes once more than half of it
-// (and at least a page worth) is dead, keeping Replace/Truncate amortized
-// O(touched).
+// maybeCompact rewrites the arena without holes once more than half of
+// it (and at least a page worth) is dead, keeping Replace/Truncate
+// amortized O(touched). Live sets are copied in id order into a fresh
+// arena view that inherits the free list, and the vacated slabs are
+// recycled onto it — compaction after warm-up therefore shuffles
+// existing slabs instead of allocating (the old path built a scratch
+// buffer the size of the live data every time).
 func (c *Collection) maybeCompact() {
-	if c.dead <= int64(len(c.setData))/2 || c.dead < 4096 {
+	if c.dead <= c.data.used/2 || c.dead < 4096 {
 		return
 	}
-	var w int64
-	// Slots may be out of address order after Replace; rebuild via a copy
-	// walk in id order. Overlaps are impossible into a fresh prefix only if
-	// we write through a scratch buffer.
-	buf := make([]int32, 0, int64(len(c.setData))-c.dead)
-	for id := range c.setStart {
-		set := c.setData[c.setStart[id] : c.setStart[id]+int64(c.setLen[id])]
-		c.setStart[id] = w
-		buf = append(buf, set...)
-		w += int64(len(set))
+	old := c.data
+	c.data = arena{slabInts: old.slabInts, free: old.free}
+	old.free = nil
+	for id := range c.setPos {
+		n := c.setLen[id]
+		ref, buf := c.data.alloc(int(n))
+		copy(buf, old.at(c.setPos[id], n))
+		c.setPos[id] = ref
 	}
-	c.setData = c.setData[:0]
-	c.setData = append(c.setData, buf...)
+	// The vacated slabs feed the next growth or compaction cycle.
+	for i := len(old.slabs) - 1; i >= 0; i-- {
+		c.data.free = append(c.data.free, old.slabs[i][:0])
+	}
 	c.dead = 0
 }
 
@@ -209,7 +220,8 @@ func (c *Collection) TotalNodes() int64 { return c.nodes }
 // MemoryBytes estimates the collection's heap footprint: the capacity of
 // every backing slice times its element size. It is an accounting
 // estimate (map/struct headers and allocator slack are not counted), but
-// it tracks the dominant cost — setData plus the per-node arrays — and
+// it tracks the dominant cost — the set-payload arena plus the per-node
+// arrays — and
 // is what the serve layer rolls up into its pool-memory gauge.
 func (c *Collection) MemoryBytes() int64 {
 	const (
@@ -221,10 +233,10 @@ func (c *Collection) MemoryBytes() int64 {
 	return int64(cap(c.cov))*i64 +
 		int64(cap(c.touched))*i32 +
 		int64(cap(c.inTouched))*b +
-		int64(cap(c.setStart))*i64 +
+		int64(cap(c.setPos))*i64 + // setRef is two int32s
 		int64(cap(c.setLen))*i32 +
 		int64(cap(c.rootK))*i32 +
-		int64(cap(c.setData))*i32 +
+		c.data.capInts()*i32 +
 		int64(cap(c.idxOff))*i64 +
 		int64(cap(c.idxSets))*i32 +
 		int64(cap(c.marks))*i64 +
@@ -235,9 +247,11 @@ func (c *Collection) MemoryBytes() int64 {
 // Coverage returns Λ_R(v).
 func (c *Collection) Coverage(v int32) int64 { return c.cov[v] }
 
-// Set returns the id-th stored set (read-only).
+// Set returns the id-th stored set (read-only). The slice aliases arena
+// storage; it stays valid across growth (slabs never move) but not
+// across compaction or Reset.
 func (c *Collection) Set(id int32) []int32 {
-	return c.setData[c.setStart[id] : c.setStart[id]+int64(c.setLen[id])]
+	return c.data.at(c.setPos[id], c.setLen[id])
 }
 
 // RootK returns the recorded root count of the id-th stored set (0 if it
@@ -267,7 +281,7 @@ func (c *Collection) buildIndex() {
 		c.idxOff[i] = 0
 	}
 	// Pass 1: counts shifted by one so pass 2 can bump in place.
-	live := int64(len(c.setData)) - c.dead
+	live := c.data.used - c.dead
 	for id := 0; id < c.stored(); id++ {
 		for _, v := range c.Set(int32(id)) {
 			c.idxOff[v+1]++
@@ -515,10 +529,10 @@ func (c *Collection) Reset() {
 		c.inTouched[v] = false
 	}
 	c.touched = c.touched[:0]
-	c.setStart = c.setStart[:0]
+	c.setPos = c.setPos[:0]
 	c.setLen = c.setLen[:0]
 	c.rootK = c.rootK[:0]
-	c.setData = c.setData[:0]
+	c.data.reset()
 	c.dead = 0
 	c.idxBuilt = -1
 	c.count = 0

@@ -119,6 +119,9 @@ type GenStats struct {
 	// EdgesExamined counts in-edges inspected during the reverse BFSes (the
 	// cost model behind Lemma 3.8).
 	EdgesExamined int64
+	// RngDraws counts stream values the reverse-BFS kernel consumed (edge
+	// coins and geometric jumps; see Sampler.RngDraws).
+	RngDraws int64
 }
 
 // minParallelSets is the batch size below which the worker pool is not
@@ -144,6 +147,7 @@ type Engine struct {
 	g       *graph.Graph
 	model   diffusion.Model
 	workers int
+	ver     Version
 
 	inline *workerState // scratch for the sequential path
 	states []*workerState
@@ -176,6 +180,7 @@ type genTask struct {
 	etai     int64
 	results  chan<- taskResult
 	edges    *atomic.Int64
+	draws    *atomic.Int64
 }
 
 // taskResult hands a task's arena segment back to Generate. The slices
@@ -189,18 +194,47 @@ type taskResult struct {
 	ids    []int32 // refresh tasks: the stored-set ids regenerated, aligned with lens
 }
 
-// NewEngine returns an Engine for g under the given model. workers <= 0
-// selects GOMAXPROCS; workers == 1 keeps everything on the calling
-// goroutine. Output is identical for every setting.
+// NewEngine returns an Engine for g under the given model, speaking the
+// default sampler stream contract. workers <= 0 selects GOMAXPROCS;
+// workers == 1 keeps everything on the calling goroutine. Output is
+// identical for every setting.
 func NewEngine(g *graph.Graph, model diffusion.Model, workers int) *Engine {
+	return NewEngineVersion(g, model, workers, DefaultVersion)
+}
+
+// NewEngineVersion is NewEngine pinned to a sampler stream contract
+// (0 resolves to DefaultVersion). Every worker speaks the same version,
+// so the version — like the worker count — never leaks into which sets
+// are generated, only into how the stream is consumed.
+func NewEngineVersion(g *graph.Graph, model diffusion.Model, workers int, ver Version) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if ver == 0 {
+		ver = DefaultVersion
 	}
 	return &Engine{
 		g:       g,
 		model:   model,
 		workers: workers,
-		inline:  &workerState{sampler: NewSampler(g, model)},
+		ver:     ver,
+		inline:  newWorkerState(g, model, ver),
+	}
+}
+
+// newWorkerState builds one worker's scratch, pre-sizing the output
+// arena from graph stats (mean set size tracks mean in-degree) so early
+// batches do not regrow it from nil.
+func newWorkerState(g *graph.Graph, model diffusion.Model, ver Version) *workerState {
+	est := (4*int(g.M()/int64(g.N())) + 16) * minTaskGrain
+	if est > 1<<20 {
+		est = 1 << 20
+	}
+	return &workerState{
+		sampler: NewSamplerVersion(g, model, ver),
+		out:     make([]int32, 0, est),
+		lens:    make([]int32, 0, minTaskGrain),
+		rootKs:  make([]int32, 0, minTaskGrain),
 	}
 }
 
@@ -212,6 +246,9 @@ func (e *Engine) Model() diffusion.Model { return e.model }
 
 // Workers returns the resolved worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Version returns the engine's sampler stream contract.
+func (e *Engine) Version() Version { return e.ver }
 
 // Close shuts down the worker pool. Generate must not be called after
 // Close. Close is idempotent but not safe to race with Generate.
@@ -231,7 +268,7 @@ func (e *Engine) start() {
 	e.tasks = make(chan genTask, e.workers*4)
 	e.states = make([]*workerState, e.workers)
 	for w := range e.states {
-		ws := &workerState{sampler: NewSampler(e.g, e.model)}
+		ws := newWorkerState(e.g, e.model, e.ver)
 		e.states[w] = ws
 		go poolWorker(e.tasks, ws)
 	}
@@ -246,7 +283,10 @@ func poolWorker(tasks <-chan genTask, ws *workerState) {
 	var src rng.Source
 	for t := range tasks {
 		dataStart, lensStart := len(ws.out), len(ws.lens)
-		edges0 := ws.sampler.EdgesExamined
+		edges0, draws0 := ws.sampler.EdgesExamined, ws.sampler.RngDraws
+		// One mask copy up front buys a single-bitset hot loop for the
+		// whole task (see Sampler.PrimeActive); active is nil below.
+		ws.sampler.PrimeActive(t.active)
 		for i := t.lo; i < t.hi; i++ {
 			gidx := t.base + int64(i)
 			if t.ids != nil {
@@ -255,11 +295,12 @@ func poolWorker(tasks <-chan genTask, ws *workerState) {
 			src.Seed(rng.SplitMix64(t.seed + uint64(gidx)))
 			setStart := len(ws.out)
 			var k int32
-			ws.out, k = generateOne(ws.sampler, t.strat, t.inactive, t.active, t.etai, &src, ws.out)
+			ws.out, k = generateOne(ws.sampler, t.strat, t.inactive, nil, t.etai, &src, ws.out)
 			ws.lens = append(ws.lens, int32(len(ws.out)-setStart))
 			ws.rootKs = append(ws.rootKs, k)
 		}
 		t.edges.Add(ws.sampler.EdgesExamined - edges0)
+		t.draws.Add(ws.sampler.RngDraws - draws0)
 		var ids []int32
 		if t.ids != nil {
 			ids = t.ids[t.lo:t.hi]
@@ -292,11 +333,12 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 	stats := GenStats{Sets: int64(need)}
 	if e.workers == 1 || need < minParallelSets {
 		ws := e.inline
-		edges0 := ws.sampler.EdgesExamined
+		edges0, draws0 := ws.sampler.EdgesExamined, ws.sampler.RngDraws
+		ws.sampler.PrimeActive(req.Active)
 		var src rng.Source
 		for i := 0; i < need; i++ {
 			src.Seed(rng.SplitMix64(req.Seed + uint64(req.FirstIndex+int64(i))))
-			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
+			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, nil, req.EtaI, &src, ws.out[:0])
 			ws.out = set // keep the grown buffer; Add copies
 			if req.CountsOnly {
 				coll.AddCountsOnly(set)
@@ -306,10 +348,11 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 			stats.SetNodes += int64(len(set))
 		}
 		stats.EdgesExamined = ws.sampler.EdgesExamined - edges0
+		stats.RngDraws = ws.sampler.RngDraws - draws0
 		return stats
 	}
 
-	ordered, edges := e.fanOut(req, need, nil)
+	ordered, edges, draws := e.fanOut(req, need, nil)
 	// Commit in set-index order so the Collection's stored-set ids are
 	// scheduling-independent.
 	for _, tr := range ordered {
@@ -326,6 +369,7 @@ func (e *Engine) Generate(coll *Collection, req Request) GenStats {
 		}
 	}
 	stats.EdgesExamined = edges
+	stats.RngDraws = draws
 	return stats
 }
 
@@ -344,20 +388,22 @@ func (e *Engine) Refresh(coll *Collection, req Request, ids []int32) GenStats {
 	stats := GenStats{Sets: int64(need)}
 	if e.workers == 1 || need < minParallelSets {
 		ws := e.inline
-		edges0 := ws.sampler.EdgesExamined
+		edges0, draws0 := ws.sampler.EdgesExamined, ws.sampler.RngDraws
+		ws.sampler.PrimeActive(req.Active)
 		var src rng.Source
 		for _, id := range ids {
 			src.Seed(rng.SplitMix64(req.Seed + uint64(id)))
-			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, req.Active, req.EtaI, &src, ws.out[:0])
+			set, k := generateOne(ws.sampler, req.Strategy, req.Inactive, nil, req.EtaI, &src, ws.out[:0])
 			ws.out = set
 			coll.Replace(id, set, k)
 			stats.SetNodes += int64(len(set))
 		}
 		stats.EdgesExamined = ws.sampler.EdgesExamined - edges0
+		stats.RngDraws = ws.sampler.RngDraws - draws0
 		return stats
 	}
 
-	ordered, edges := e.fanOut(req, need, ids)
+	ordered, edges, draws := e.fanOut(req, need, ids)
 	// Commit in id order: coverage math is order-independent, but a fixed
 	// order keeps the data layout (and memory profile) reproducible.
 	for _, tr := range ordered {
@@ -370,13 +416,14 @@ func (e *Engine) Refresh(coll *Collection, req Request, ids []int32) GenStats {
 		}
 	}
 	stats.EdgesExamined = edges
+	stats.RngDraws = draws
 	return stats
 }
 
 // fanOut distributes need set generations (fresh positions, or the given
 // stored ids when non-nil) over the worker pool and returns the results in
-// task order plus the examined-edge total.
-func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64) {
+// task order plus the examined-edge and stream-draw totals.
+func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64, int64) {
 	e.start()
 	// No tasks are in flight between calls, so the arenas the previous
 	// batch handed out can be reclaimed here.
@@ -391,7 +438,7 @@ func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64
 	}
 	numTasks := (need + grain - 1) / grain
 	results := make(chan taskResult, numTasks)
-	var edges atomic.Int64
+	var edges, draws atomic.Int64
 	for ti := 0; ti < numTasks; ti++ {
 		lo := ti * grain
 		hi := lo + grain
@@ -402,7 +449,7 @@ func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64
 			idx: ti, lo: lo, hi: hi,
 			seed: req.Seed, base: req.FirstIndex, ids: ids, strat: req.Strategy,
 			inactive: req.Inactive, active: req.Active, etai: req.EtaI,
-			results: results, edges: &edges,
+			results: results, edges: &edges, draws: &draws,
 		}
 	}
 	ordered := make([]taskResult, numTasks)
@@ -410,5 +457,5 @@ func (e *Engine) fanOut(req Request, need int, ids []int32) ([]taskResult, int64
 		tr := <-results
 		ordered[tr.idx] = tr
 	}
-	return ordered, edges.Load()
+	return ordered, edges.Load(), draws.Load()
 }

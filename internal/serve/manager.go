@@ -13,6 +13,7 @@ import (
 	"asti/internal/baselines"
 	"asti/internal/diffusion"
 	"asti/internal/journal"
+	"asti/internal/rrset"
 	"asti/internal/trim"
 )
 
@@ -45,6 +46,16 @@ type Config struct {
 	// θ_max; on or off, the proposed batches are identical — the knob only
 	// trades speed, and exists mainly for benchmarking the reuse win.
 	DisablePoolReuse bool
+	// SamplerVersion pins the sampler's stream-consumption contract for
+	// the session (1 = the original per-edge-coin stream, 2 = geometric
+	// edge-coin skipping; 0 = the current default, resolved at Create
+	// time). The resolved version is written into the session's journal
+	// created record, so recovery and reactivation replay the session
+	// under the contract it was created with — old write-ahead logs stay
+	// byte-for-byte replayable when the default advances. Proposals are
+	// identically distributed under every version; the knob trades
+	// sampling speed, never output quality.
+	SamplerVersion int
 	// Seed fixes the session's sampling randomness: equal configs propose
 	// equal batches under equal observations.
 	Seed uint64
@@ -264,6 +275,12 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	if jerr != nil {
 		return nil, jerr
 	}
+	// Resolve the sampler version before anything is built or journaled:
+	// the created record must pin an explicit version, or a later binary
+	// with a newer default could not replay this session's log.
+	if cfg.SamplerVersion == 0 {
+		cfg.SamplerVersion = int(rrset.DefaultVersion)
+	}
 	s, err := m.buildSession(cfg)
 	if err != nil {
 		return nil, err
@@ -332,7 +349,14 @@ func (m *Manager) buildSession(cfg Config) (*Session, error) {
 	if eps == 0 {
 		eps = 0.5
 	}
-	policy, err := newPolicy(cfg.Policy, eps, cfg.Workers, cfg.MaxSetsPerRound, !cfg.DisablePoolReuse)
+	ver := rrset.Version(cfg.SamplerVersion)
+	if ver == 0 {
+		ver = rrset.DefaultVersion
+	}
+	if !ver.Valid() {
+		return nil, fmt.Errorf("serve: unknown sampler version %d", cfg.SamplerVersion)
+	}
+	policy, err := newPolicy(cfg.Policy, eps, cfg.Workers, cfg.MaxSetsPerRound, !cfg.DisablePoolReuse, ver)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +365,7 @@ func (m *Manager) buildSession(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s.dataset = cfg.Dataset
+	s.samplerVer = int(ver)
 	s.mgr = m
 	return s, nil
 }
@@ -374,6 +399,7 @@ func createdRecord(cfg Config) journal.Created {
 		Workers:          cfg.Workers,
 		MaxSetsPerRound:  cfg.MaxSetsPerRound,
 		DisablePoolReuse: cfg.DisablePoolReuse,
+		SamplerVersion:   cfg.SamplerVersion,
 		Seed:             cfg.Seed,
 	}
 }
@@ -385,6 +411,13 @@ func configFromRecord(c journal.Created) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	ver := c.SamplerVersion
+	if ver == 0 {
+		// Logs written before sampler versioning carry no field; they were
+		// produced by the original (v1) stream contract, and must replay
+		// under it even though fresh sessions default higher.
+		ver = int(rrset.V1)
+	}
 	return Config{
 		Dataset:          c.Dataset,
 		Policy:           c.Policy,
@@ -395,6 +428,7 @@ func configFromRecord(c journal.Created) (Config, error) {
 		Workers:          c.Workers,
 		MaxSetsPerRound:  c.MaxSetsPerRound,
 		DisablePoolReuse: c.DisablePoolReuse,
+		SamplerVersion:   ver,
 		Seed:             c.Seed,
 	}, nil
 }
@@ -711,20 +745,20 @@ func (m *Manager) List() []Status {
 }
 
 // newPolicy instantiates a fresh proposal policy by wire name.
-func newPolicy(name string, epsilon float64, workers int, maxSets int64, reuse bool) (adaptive.Policy, error) {
+func newPolicy(name string, epsilon float64, workers int, maxSets int64, reuse bool, ver rrset.Version) (adaptive.Policy, error) {
 	switch {
 	case name == "" || strings.EqualFold(name, "ASTI"):
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: 1, Truncated: true,
-			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse})
+			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse, SamplerVersion: ver})
 	case strings.HasPrefix(strings.ToUpper(name), "ASTI-"):
 		b, err := strconv.Atoi(name[len("ASTI-"):])
 		if err != nil || b < 1 {
 			return nil, fmt.Errorf("serve: bad batch size in policy %q", name)
 		}
 		return trim.New(trim.Config{Epsilon: epsilon, Batch: b, Truncated: true,
-			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse})
+			Workers: workers, MaxSetsPerRound: maxSets, ReusePool: reuse, SamplerVersion: ver})
 	case strings.EqualFold(name, "AdaptIM"):
-		return baselines.NewAdaptIM(epsilon, maxSets, workers, reuse)
+		return baselines.NewAdaptIM(epsilon, maxSets, workers, reuse, ver)
 	default:
 		return nil, fmt.Errorf("serve: unknown policy %q (ASTI, ASTI-<b>, AdaptIM)", name)
 	}

@@ -88,16 +88,17 @@ var (
 type Session struct {
 	mu sync.Mutex
 
-	id      string
-	dataset string
-	g       *graph.Graph
-	model   diffusion.Model
-	eta     int64
-	policy  adaptive.Policy
-	src     *rng.Source
-	jw      *journal.Writer // nil for in-memory sessions (and during replay)
-	store   *journal.Store  // set with jw; lets a passivated close reopen its log
-	mgr     *Manager        // owning manager (nil for NewSession-built sessions)
+	id         string
+	dataset    string
+	samplerVer int // resolved sampler stream contract (0 for NewSession-built sessions)
+	g          *graph.Graph
+	model      diffusion.Model
+	eta        int64
+	policy     adaptive.Policy
+	src        *rng.Source
+	jw         *journal.Writer // nil for in-memory sessions (and during replay)
+	store      *journal.Store  // set with jw; lets a passivated close reopen its log
+	mgr        *Manager        // owning manager (nil for NewSession-built sessions)
 
 	phase    Phase
 	round    int
@@ -350,6 +351,11 @@ type Status struct {
 	N int64
 	// Eta is the campaign threshold η.
 	Eta int64
+	// SamplerVersion is the sampler stream contract the session runs
+	// under (pinned at creation and journaled; 0 for sessions built
+	// directly with NewSession, which carry whatever their policy's
+	// config resolved to).
+	SamplerVersion int
 	// Phase is the loop position ("propose", "observe", "done",
 	// "closed").
 	Phase string
@@ -405,22 +411,23 @@ func (s *Session) statusLocked() Status {
 		return st
 	}
 	st := Status{
-		ID:            s.id,
-		Dataset:       s.dataset,
-		Policy:        s.policy.Name(),
-		Model:         s.model.String(),
-		N:             int64(s.g.N()),
-		Eta:           s.eta,
-		Phase:         s.phase.String(),
-		Round:         s.round,
-		Seeds:         len(s.seeds),
-		Activated:     s.activatedLocked(),
-		Done:          s.phase == PhaseDone,
-		Durable:       s.jw != nil,
-		Passivations:  s.passivations,
-		PoolBytes:     s.poolBytesLocked(),
-		IdleSeconds:   time.Since(s.touched).Seconds(),
-		SelectSeconds: s.selectTime.Seconds(),
+		ID:             s.id,
+		Dataset:        s.dataset,
+		SamplerVersion: s.samplerVer,
+		Policy:         s.policy.Name(),
+		Model:          s.model.String(),
+		N:              int64(s.g.N()),
+		Eta:            s.eta,
+		Phase:          s.phase.String(),
+		Round:          s.round,
+		Seeds:          len(s.seeds),
+		Activated:      s.activatedLocked(),
+		Done:           s.phase == PhaseDone,
+		Durable:        s.jw != nil,
+		Passivations:   s.passivations,
+		PoolBytes:      s.poolBytesLocked(),
+		IdleSeconds:    time.Since(s.touched).Seconds(),
+		SelectSeconds:  s.selectTime.Seconds(),
 	}
 	if s.pending != nil {
 		st.Pending = append([]int32(nil), s.pending...)

@@ -1,0 +1,193 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asti/internal/bitset"
+	"asti/internal/diffusion"
+	"asti/internal/journal"
+	"asti/internal/rng"
+	"asti/internal/rrset"
+	"asti/internal/serve"
+)
+
+// readCreated decodes the created record at the head of a session log.
+func readCreated(t *testing.T, path string) journal.Created {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, scanErr := journal.Scan(data)
+	if len(recs) == 0 || recs[0].Type != journal.TypeCreated {
+		t.Fatalf("log %s: no created record (scan err %v)", path, scanErr)
+	}
+	var c journal.Created
+	if err := json.Unmarshal(recs[0].Body, &c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// stripSamplerVersion rewrites a session log as a pre-versioning binary
+// would have written it: the created record loses its sampler_version
+// field (omitempty drops the zero), every other record is copied
+// byte-for-byte.
+func stripSamplerVersion(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, scanErr := journal.Scan(data)
+	if scanErr != nil {
+		t.Fatalf("scan %s: %v", path, scanErr)
+	}
+	var out []byte
+	for _, rec := range recs {
+		if rec.Type == journal.TypeCreated {
+			var c journal.Created
+			if err := json.Unmarshal(rec.Body, &c); err != nil {
+				t.Fatal(err)
+			}
+			c.SamplerVersion = 0
+			frame, err := journal.Marshal(journal.TypeCreated, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, frame...)
+			continue
+		}
+		out = append(out, journal.RawFrame(rec.Type, rec.Body)...)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCreateJournalsResolvedSamplerVersion pins what Create writes: the
+// created record always carries an explicit, resolved sampler version —
+// the default for unversioned configs, the pinned value otherwise — so
+// future defaults can move without orphaning any log.
+func TestCreateJournalsResolvedSamplerVersion(t *testing.T) {
+	dir := t.TempDir()
+	mgr := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	defer mgr.CloseAll()
+
+	def, err := mgr.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := mgr.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Seed: 3, Workers: 1, SamplerVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readCreated(t, filepath.Join(dir, def.ID()+".wal")).SamplerVersion; got != int(rrset.DefaultVersion) {
+		t.Errorf("default session journaled version %d, want %d", got, rrset.DefaultVersion)
+	}
+	if got := readCreated(t, filepath.Join(dir, pinned.ID()+".wal")).SamplerVersion; got != 1 {
+		t.Errorf("pinned session journaled version %d, want 1", got)
+	}
+	if st := def.Status(); st.SamplerVersion != int(rrset.DefaultVersion) {
+		t.Errorf("default session status version %d, want %d", st.SamplerVersion, rrset.DefaultVersion)
+	}
+	if st := pinned.Status(); st.SamplerVersion != 1 {
+		t.Errorf("pinned session status version %d, want 1", st.SamplerVersion)
+	}
+	if _, err := mgr.Create(serve.Config{Dataset: "test", EtaFrac: 0.2, Seed: 3, SamplerVersion: 99}); err == nil {
+		t.Error("Create accepted unknown sampler version 99")
+	}
+}
+
+// TestRecoverLegacyWALUnderV1 is the journal-compatibility acceptance
+// check: a log written before sampler versioning existed (no
+// sampler_version field in its created record) must recover under a
+// v2-default binary by replaying v1 — the contract that produced its
+// journaled proposals — and continue proposing exactly what an
+// uninterrupted v1 session would.
+func TestRecoverLegacyWALUnderV1(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(31))
+	cfgV1 := serve.Config{Dataset: "test", EtaFrac: 0.1, Epsilon: 0.5, Seed: 13, Workers: 1, SamplerVersion: 1}
+
+	// Uninterrupted v1 reference.
+	ref := serve.NewManager(testRegistry(t), 0)
+	defer ref.CloseAll()
+	rs, err := ref.Create(cfgV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches, done := driveRounds(t, rs, φ, bitset.New(int(g.N())), 1<<20)
+	if !done || len(wantBatches) < 3 {
+		t.Fatalf("reference campaign unusable: done=%v rounds=%d", done, len(wantBatches))
+	}
+
+	// Write a v1 session log, then strip the version field to simulate a
+	// log from before versioning existed.
+	dir := t.TempDir()
+	mirror := bitset.New(int(g.N()))
+	mgr1 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	s1, err := mgr1.Create(cfgV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBatches, _ := driveRounds(t, s1, φ, mirror, 2)
+	id := s1.ID()
+	mgr1.CloseAll() // releases workers without closed records — SIGKILL shape
+	stripSamplerVersion(t, filepath.Join(dir, id+".wal"))
+	if got := readCreated(t, filepath.Join(dir, id+".wal")).SamplerVersion; got != 0 {
+		t.Fatalf("stripped log still carries version %d", got)
+	}
+
+	// Recover under a binary whose default is v2.
+	mgr2 := serve.NewManager(testRegistry(t), 0, serve.WithJournalDir(dir))
+	defer mgr2.CloseAll()
+	rep, err := mgr2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.Skipped != 0 {
+		t.Fatalf("recovery report %+v, want the legacy log recovered (warnings: %v)", rep, rep.Warnings)
+	}
+	s2, err := mgr2.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Status(); st.SamplerVersion != 1 {
+		t.Errorf("legacy session recovered under version %d, want 1", st.SamplerVersion)
+	}
+	rest, done := driveRounds(t, s2, φ, mirror, 1<<20)
+	if !done {
+		t.Fatal("recovered legacy session did not finish")
+	}
+	gotBatches = append(gotBatches, rest...)
+	if fmt.Sprint(gotBatches) != fmt.Sprint(wantBatches) {
+		t.Errorf("legacy-recovered batches %v != uninterrupted v1 %v", gotBatches, wantBatches)
+	}
+}
+
+// TestVersionedSessionsDiverge documents why the version must be pinned
+// at all: on a weighted-cascade graph (per-node-uniform probabilities,
+// where geometric skipping fires) v1 and v2 sessions with the same seed
+// draw different streams. If this ever fails, v2 collapsed into v1 and
+// the versioning machinery is dead weight.
+func TestVersionedSessionsDiverge(t *testing.T) {
+	g := testGraph(t)
+	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(47))
+	seeds := func(ver int) []int32 {
+		mgr := serve.NewManager(testRegistry(t), 0)
+		defer mgr.CloseAll()
+		s, err := mgr.Create(serve.Config{Dataset: "test", EtaFrac: 0.1, Epsilon: 0.5, Seed: 13, Workers: 1, SamplerVersion: ver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drive(t, s, φ)
+	}
+	if fmt.Sprint(seeds(1)) == fmt.Sprint(seeds(2)) {
+		t.Error("v1 and v2 proposed identical seed sequences on a geometric-skip graph")
+	}
+}

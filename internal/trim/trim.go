@@ -81,6 +81,16 @@ type Config struct {
 	// loop does not supply it the policy silently falls back to full
 	// regeneration for that round.
 	ReusePool bool
+	// SamplerVersion pins the sampler's stream-consumption contract
+	// (rrset.V1 or rrset.V2). The zero value resolves to
+	// rrset.DefaultVersion at New time, so a constructed Policy always
+	// carries an explicit version — which is what the serve layer journals
+	// and replays: a session recovered from a write-ahead log re-runs
+	// under the version that wrote it, byte-identically, regardless of
+	// what fresh sessions default to. Selections are identically
+	// distributed across versions; only the stream layout (and speed)
+	// differs.
+	SamplerVersion rrset.Version
 	// NameOverride replaces the derived policy name when non-empty.
 	NameOverride string
 }
@@ -95,6 +105,10 @@ type Stats struct {
 	SetNodes int64
 	// EdgesExamined counts in-edges inspected during reverse BFS.
 	EdgesExamined int64
+	// RngDraws counts stream values the reverse-BFS kernel consumed; the
+	// V2 sampler's geometric skipping exists to shrink this relative to
+	// EdgesExamined.
+	RngDraws int64
 	// Doublings counts pool-doubling steps taken.
 	Doublings int64
 	// HitCap counts rounds that exhausted T iterations without certifying
@@ -164,6 +178,12 @@ func New(cfg Config) (*Policy, error) {
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("trim: negative worker count %d", cfg.Workers)
+	}
+	if cfg.SamplerVersion == 0 {
+		cfg.SamplerVersion = rrset.DefaultVersion
+	}
+	if !cfg.SamplerVersion.Valid() {
+		return nil, fmt.Errorf("trim: unknown sampler version %d", cfg.SamplerVersion)
 	}
 	name := cfg.NameOverride
 	if name == "" {
@@ -269,11 +289,12 @@ const reuseStaleCutoffPct = 75
 // reused — the round must then keep storing sets (the pool stays
 // prunable), so the caller disables countsOnly for its doublings.
 func (p *Policy) prepare(st *adaptive.State, target int64, countsOnly bool, fresh bool) bool {
-	if p.engine == nil || p.engine.Graph() != st.G || p.engine.Model() != st.Model {
+	if p.engine == nil || p.engine.Graph() != st.G || p.engine.Model() != st.Model ||
+		p.engine.Version() != p.cfg.SamplerVersion {
 		if p.engine != nil {
 			p.engine.Close()
 		}
-		p.engine = rrset.NewEngine(st.G, st.Model, p.cfg.Workers)
+		p.engine = rrset.NewEngineVersion(st.G, st.Model, p.cfg.Workers, p.cfg.SamplerVersion)
 		p.coll = rrset.NewCollection(st.G)
 		fresh = true
 	}
@@ -348,6 +369,7 @@ func (p *Policy) reusePool(st *adaptive.State, target int64) bool {
 	p.Stats.Sets += gs.Sets
 	p.Stats.SetNodes += gs.SetNodes
 	p.Stats.EdgesExamined += gs.EdgesExamined
+	p.Stats.RngDraws += gs.RngDraws
 	p.Stats.SetsRefreshed += int64(len(stale))
 	p.Stats.SetsReused += int64(stored - len(stale))
 	return true
@@ -512,6 +534,7 @@ func (p *Policy) generate(st *adaptive.State, total int64, countsOnly bool) {
 	p.Stats.Sets += gs.Sets
 	p.Stats.SetNodes += gs.SetNodes
 	p.Stats.EdgesExamined += gs.EdgesExamined
+	p.Stats.RngDraws += gs.RngDraws
 }
 
 // notePool records the round's final pool size in the peak statistic.

@@ -15,5 +15,5 @@ func Example_quickstart() {
 	world := asti.SampleRealization(g, asti.IC, 42)    // one influence world
 	res, _ := asti.RunAdaptive(g, asti.IC, 76, policy, world, 43)
 	fmt.Println(len(res.Seeds), "seeds influenced", res.Spread, "users")
-	// Output: 8 seeds influenced 81 users
+	// Output: 8 seeds influenced 76 users
 }
