@@ -44,6 +44,14 @@
 // per-session memory) are released while the journal keeps their state,
 // and the next API call reactivates them transparently by replaying the
 // log — the reactivated session proposes byte-identical batches.
+//
+// Durable sessions additionally write verified state checkpoints into
+// their logs every -checkpoint-every rounds (default 8, 0 = off), and
+// by default compact the log past each one (-checkpoint-compact). A
+// checkpoint turns recovery and reactivation from a full-history replay
+// into restoring the snapshot plus replaying at most one interval's
+// worth of rounds, and compaction bounds each log's disk footprint the
+// same way. Checkpoints never change what a session proposes.
 package main
 
 import (
@@ -69,15 +77,17 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 1024, "maximum concurrently open sessions (0 = unlimited)")
 		journalDir  = flag.String("journal-dir", "", "write-ahead-journal directory for durable sessions (empty = in-memory only)")
 		idleTTL     = flag.Duration("idle-ttl", 0, "passivate durable sessions idle for this long, releasing their memory until the next call reactivates them from the journal (0 = never; requires -journal-dir)")
+		ckptEvery   = flag.Int("checkpoint-every", serve.DefaultCheckpointEvery, "write a verified state checkpoint into each durable session's journal every K committed rounds, so recovery replays only the rounds after it (0 = checkpoints off, full replay)")
+		ckptCompact = flag.Bool("checkpoint-compact", true, "after each verified checkpoint, compact the session's journal down to [created][checkpoint][suffix], bounding its disk footprint by the checkpoint interval")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir, *idleTTL); err != nil {
+	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir, *idleTTL, *ckptEvery, *ckptCompact); err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string, idleTTL time.Duration) error {
+func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string, idleTTL time.Duration, ckptEvery int, ckptCompact bool) error {
 	reg := serve.NewSyntheticRegistry(scale)
 	if graphPath != "" {
 		if err := reg.RegisterLoader("custom", func() (*graph.Graph, error) {
@@ -96,6 +106,7 @@ func run(addr string, scale float64, graphPath string, maxSessions int, journalD
 		}
 		opts = append(opts, serve.WithIdleTTL(idleTTL))
 	}
+	opts = append(opts, serve.WithCheckpointEvery(ckptEvery), serve.WithCompaction(ckptCompact))
 	mgr := serve.NewManager(reg, maxSessions, opts...)
 	defer mgr.CloseAll()
 
@@ -109,8 +120,8 @@ func run(addr string, scale float64, graphPath string, maxSessions int, journalD
 			fmt.Fprintf(os.Stderr, "asmserve: journal: %s\n", w)
 		}
 		recovered = rep.Recovered
-		fmt.Printf("asmserve: journal %s: recovered %d session(s), %d closed, %d skipped, %d round(s) replayed\n",
-			journalDir, rep.Recovered, rep.Closed, rep.Skipped, rep.Rounds)
+		fmt.Printf("asmserve: journal %s: recovered %d session(s), %d closed, %d skipped, %d round(s) replayed, %d from checkpoint\n",
+			journalDir, rep.Recovered, rep.Closed, rep.Skipped, rep.Rounds, rep.CheckpointRestores)
 	}
 
 	srv := &http.Server{

@@ -105,6 +105,21 @@ func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP asmserve_reactivations_total Passivated sessions reactivated by log replay since boot.")
 	fmt.Fprintln(w, "# TYPE asmserve_reactivations_total counter")
 	fmt.Fprintf(w, "asmserve_reactivations_total %d\n", mt.Reactivations)
+	fmt.Fprintln(w, "# HELP asmserve_checkpoints_total Verified state checkpoints written into session journals since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_checkpoints_total counter")
+	fmt.Fprintf(w, "asmserve_checkpoints_total %d\n", mt.Checkpoints)
+	fmt.Fprintln(w, "# HELP asmserve_checkpoint_failures_total Checkpoints skipped because write-time verification or encoding failed (the session continues journaling normally).")
+	fmt.Fprintln(w, "# TYPE asmserve_checkpoint_failures_total counter")
+	fmt.Fprintf(w, "asmserve_checkpoint_failures_total %d\n", mt.CheckpointFailures)
+	fmt.Fprintln(w, "# HELP asmserve_compactions_total Session journals compacted down to their newest checkpoint since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_compactions_total counter")
+	fmt.Fprintf(w, "asmserve_compactions_total %d\n", mt.Compactions)
+	fmt.Fprintln(w, "# HELP asmserve_compacted_bytes_total Journal bytes reclaimed by compaction since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_compacted_bytes_total counter")
+	fmt.Fprintf(w, "asmserve_compacted_bytes_total %d\n", mt.CompactedBytes)
+	fmt.Fprintln(w, "# HELP asmserve_checkpoint_restores_total Recoveries and reactivations that restored a checkpoint and replayed only the suffix, instead of the full history.")
+	fmt.Fprintln(w, "# TYPE asmserve_checkpoint_restores_total counter")
+	fmt.Fprintf(w, "asmserve_checkpoint_restores_total %d\n", mt.CheckpointRestores)
 	fmt.Fprintln(w, "# HELP asmserve_pool_bytes Estimated heap bytes held by live sessions' sampling pools.")
 	fmt.Fprintln(w, "# TYPE asmserve_pool_bytes gauge")
 	fmt.Fprintf(w, "asmserve_pool_bytes %d\n", mt.PoolBytes)

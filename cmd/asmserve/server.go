@@ -60,6 +60,12 @@ type statusResponse struct {
 	PoolBytes      int64   `json:"pool_bytes"`
 	IdleSeconds    float64 `json:"idle_seconds"`
 	SelectSeconds  float64 `json:"select_seconds"`
+	// Checkpoints counts verified checkpoints this session has written;
+	// LastCheckpointRound is the round the newest one snapshots (both are
+	// restored from the checkpoint itself on recovery, so they are stable
+	// across restarts).
+	Checkpoints         int `json:"checkpoints"`
+	LastCheckpointRound int `json:"last_checkpoint_round"`
 }
 
 // healthResponse is the body of GET /healthz.
@@ -85,6 +91,16 @@ type healthResponse struct {
 	RecoveredSessions int `json:"recovered_sessions"`
 	// IdleTTLSeconds is the configured passivation TTL (0 = off).
 	IdleTTLSeconds float64 `json:"idle_ttl_seconds"`
+	// Checkpoints / Compactions / CheckpointRestores count verified
+	// checkpoints written, journal compactions past them, and
+	// recoveries/reactivations that restored a checkpoint instead of
+	// replaying the full history, since this process booted.
+	Checkpoints        uint64 `json:"checkpoints"`
+	Compactions        uint64 `json:"compactions"`
+	CheckpointRestores uint64 `json:"checkpoint_restores"`
+	// CheckpointEvery is the configured checkpoint interval in rounds
+	// (0 = checkpoints off).
+	CheckpointEvery int `json:"checkpoint_every"`
 }
 
 // batchResponse is the body of POST /v1/sessions/{id}/next.
@@ -146,14 +162,18 @@ func newHandler(mgr *serve.Manager, recovered int) http.Handler {
 func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := sv.mgr.Stats() // O(1): probes must not walk the session table
 	writeJSON(w, http.StatusOK, healthResponse{
-		OK:                true,
-		Sessions:          st.Sessions,
-		Passivated:        st.Passivated,
-		Passivations:      st.Passivations,
-		Reactivations:     st.Reactivations,
-		Journal:           sv.mgr.Journaled(),
-		RecoveredSessions: sv.recovered,
-		IdleTTLSeconds:    sv.mgr.IdleTTL().Seconds(),
+		OK:                 true,
+		Sessions:           st.Sessions,
+		Passivated:         st.Passivated,
+		Passivations:       st.Passivations,
+		Reactivations:      st.Reactivations,
+		Journal:            sv.mgr.Journaled(),
+		RecoveredSessions:  sv.recovered,
+		IdleTTLSeconds:     sv.mgr.IdleTTL().Seconds(),
+		Checkpoints:        st.Checkpoints,
+		Compactions:        st.Compactions,
+		CheckpointRestores: st.CheckpointRestores,
+		CheckpointEvery:    sv.mgr.CheckpointEvery(),
 	})
 }
 
@@ -369,25 +389,27 @@ func stepStatus(err error) int {
 
 func toStatusResponse(st serve.Status) statusResponse {
 	return statusResponse{
-		ID:             st.ID,
-		Dataset:        st.Dataset,
-		SamplerVersion: st.SamplerVersion,
-		Policy:         st.Policy,
-		Model:          st.Model,
-		N:              st.N,
-		Eta:            st.Eta,
-		Phase:          st.Phase,
-		Round:          st.Round,
-		Pending:        st.Pending,
-		Seeds:          st.Seeds,
-		Activated:      st.Activated,
-		EtaI:           st.EtaI,
-		Done:           st.Done,
-		Durable:        st.Durable,
-		Passivations:   st.Passivations,
-		PoolBytes:      st.PoolBytes,
-		IdleSeconds:    st.IdleSeconds,
-		SelectSeconds:  st.SelectSeconds,
+		ID:                  st.ID,
+		Dataset:             st.Dataset,
+		SamplerVersion:      st.SamplerVersion,
+		Policy:              st.Policy,
+		Model:               st.Model,
+		N:                   st.N,
+		Eta:                 st.Eta,
+		Phase:               st.Phase,
+		Round:               st.Round,
+		Pending:             st.Pending,
+		Seeds:               st.Seeds,
+		Activated:           st.Activated,
+		EtaI:                st.EtaI,
+		Done:                st.Done,
+		Durable:             st.Durable,
+		Passivations:        st.Passivations,
+		PoolBytes:           st.PoolBytes,
+		IdleSeconds:         st.IdleSeconds,
+		SelectSeconds:       st.SelectSeconds,
+		Checkpoints:         st.Checkpoints,
+		LastCheckpointRound: st.LastCheckpointRound,
 	}
 }
 

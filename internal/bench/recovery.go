@@ -45,6 +45,32 @@ type RecoveryPoint struct {
 	Identical bool `json:"identical_next_batch"`
 }
 
+// CheckpointedRecoveryPoint is the measured recovery latency at one
+// (campaign length, checkpoint interval) pair, with checkpointing and
+// journal compaction enabled. Once the campaign is at least one interval
+// long, recovery restores the newest verified checkpoint and replays
+// only the suffix, so the latency tracks the interval rather than the
+// campaign length.
+type CheckpointedRecoveryPoint struct {
+	// Rounds is how many committed rounds the journal held.
+	Rounds int `json:"rounds"`
+	// Interval is the checkpoint interval in rounds (WithCheckpointEvery).
+	Interval int `json:"checkpoint_interval"`
+	// Trials is the number of kill-and-recover repetitions.
+	Trials int `json:"trials"`
+	// P50Seconds / P99Seconds are Recover-call latency percentiles
+	// across trials.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// FromCheckpoint reports whether every trial's recovery restored a
+	// checkpoint (expected exactly when Rounds >= Interval).
+	FromCheckpoint bool `json:"from_checkpoint"`
+	// Identical reports the acceptance check: every trial's recovered
+	// session proposed the byte-identical next batch to an uninterrupted
+	// session at the same point.
+	Identical bool `json:"identical_next_batch"`
+}
+
 // PassivationPoint is the measured passivate→reactivate round trip at
 // one campaign length: what parking an idle session costs, and what the
 // first call after it pays to replay the session back to life.
@@ -86,14 +112,23 @@ type ServePerfReport struct {
 	// Steps compares per-step latency with and without the journal on
 	// otherwise identical sessions fed identical observations.
 	Steps []StepLatency `json:"steps"`
-	// OverheadP50Seconds is the p50 journal write overhead per step
-	// (journal p50 − memory p50).
+	// OverheadP50Seconds is the p50 journal write overhead per step,
+	// measured pairwise: both modes replay the identical campaign (same
+	// seed, same world, warmed caches), so step i in journal mode and
+	// step i in memory mode do the same selection work, and the median of
+	// the per-step differences isolates the fsync cost from the
+	// selection-time noise that dwarfs it (a mode-level p50 difference is
+	// dominated by that noise and can even come out negative).
 	OverheadP50Seconds float64 `json:"overhead_p50_seconds"`
 	// IdenticalSelections reports that journaled and in-memory sessions
 	// proposed identical seed sequences (durability is semantics-free).
 	IdenticalSelections bool `json:"identical_selections"`
-	// Recovery is the recovery-latency curve vs rounds replayed.
+	// Recovery is the recovery-latency curve vs rounds replayed, with
+	// checkpointing disabled: the pure full-replay baseline.
 	Recovery []RecoveryPoint `json:"recovery"`
+	// CheckpointedRecovery is the recovery-latency surface over (rounds,
+	// checkpoint interval) with checkpointing and compaction on.
+	CheckpointedRecovery []CheckpointedRecoveryPoint `json:"checkpointed_recovery"`
 	// Passivation is the idle passivate→reactivate round-trip curve vs
 	// rounds replayed.
 	Passivation []PassivationPoint `json:"passivation"`
@@ -127,7 +162,7 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	// Per-step overhead: identical campaigns (same seed, same world),
 	// with and without a journal.
 	φ := diffusion.SampleRealization(g, diffusion.IC, rng.New(r.Profile.Seed^0x77A1))
-	runMode := func(journaled bool) (StepLatency, []int32, error) {
+	runMode := func(journaled bool) (StepLatency, []float64, []int32, error) {
 		mode := "memory"
 		var opts []serve.ManagerOption
 		var dir string
@@ -135,7 +170,7 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 			mode = "journal"
 			d, err := os.MkdirTemp("", "asti-bench-wal")
 			if err != nil {
-				return StepLatency{}, nil, err
+				return StepLatency{}, nil, nil, err
 			}
 			dir = d
 			opts = append(opts, serve.WithJournalDir(dir))
@@ -149,12 +184,12 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 		}()
 		s, err := mgr.Create(cfg)
 		if err != nil {
-			return StepLatency{}, nil, err
+			return StepLatency{}, nil, nil, err
 		}
 		var seeds []int32
 		lats, err := driveSessionInto(s, φ, &seeds)
 		if err != nil {
-			return StepLatency{}, nil, err
+			return StepLatency{}, nil, nil, err
 		}
 		var total float64
 		fl := make([]float64, len(lats))
@@ -167,17 +202,35 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 		if len(lats) > 0 {
 			sl.MeanSeconds = total / float64(len(lats))
 		}
-		return sl, seeds, nil
+		return sl, fl, seeds, nil
 	}
-	mem, memSeeds, err := runMode(false)
+	// One unmeasured warmup campaign absorbs the cold-start costs (page
+	// cache, allocator growth, branch predictors) that would otherwise
+	// land entirely on whichever measured mode runs first and swamp the
+	// sub-millisecond fsync cost being measured.
+	if _, _, _, err := runMode(false); err != nil {
+		return err
+	}
+	mem, memSteps, memSeeds, err := runMode(false)
 	if err != nil {
 		return err
 	}
-	jrn, jrnSeeds, err := runMode(true)
+	jrn, jrnSteps, jrnSeeds, err := runMode(true)
 	if err != nil {
 		return err
 	}
 	identical := slices.Equal(memSeeds, jrnSeeds)
+	// Both campaigns take the same steps in the same order, so pair them:
+	// the per-step difference cancels the shared selection work and its
+	// median is the journal's own cost.
+	pairs := len(memSteps)
+	if len(jrnSteps) < pairs {
+		pairs = len(jrnSteps)
+	}
+	diffs := make([]float64, pairs)
+	for i := range diffs {
+		diffs[i] = jrnSteps[i] - memSteps[i]
+	}
 
 	// Recovery latency vs rounds replayed: journal exactly R committed
 	// rounds (batch-only observations keep R controllable), kill, time
@@ -185,6 +238,7 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	const trials = 3
 	points := []int{2, 5, 10}
 	var curve []RecoveryPoint
+	var ckcurve []CheckpointedRecoveryPoint
 	var pcurve []PassivationPoint
 	for _, rounds := range points {
 		pt, err := recoveryPoint(reg, cfg, g, rounds, trials)
@@ -192,6 +246,13 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 			return err
 		}
 		curve = append(curve, *pt)
+		for _, interval := range []int{4, 8} {
+			ck, err := checkpointedRecoveryPoint(reg, cfg, rounds, interval, trials)
+			if err != nil {
+				return err
+			}
+			ckcurve = append(ckcurve, *ck)
+		}
 		pp, err := passivationPoint(reg, cfg, rounds, trials)
 		if err != nil {
 			return err
@@ -200,19 +261,20 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	}
 
 	rep := &ServePerfReport{
-		Experiment:          "serve",
-		Profile:             r.Profile.Name,
-		Dataset:             g.Name(),
-		Model:               diffusion.IC.String(),
-		N:                   int64(g.N()),
-		Eta:                 eta,
-		Epsilon:             r.Profile.Epsilon,
-		SamplerVersion:      int(rrset.DefaultVersion),
-		Steps:               []StepLatency{mem, jrn},
-		OverheadP50Seconds:  jrn.P50Seconds - mem.P50Seconds,
-		IdenticalSelections: identical,
-		Recovery:            curve,
-		Passivation:         pcurve,
+		Experiment:           "serve",
+		Profile:              r.Profile.Name,
+		Dataset:              g.Name(),
+		Model:                diffusion.IC.String(),
+		N:                    int64(g.N()),
+		Eta:                  eta,
+		Epsilon:              r.Profile.Epsilon,
+		SamplerVersion:       int(rrset.DefaultVersion),
+		Steps:                []StepLatency{mem, jrn},
+		OverheadP50Seconds:   percentileF(diffs, 0.50),
+		IdenticalSelections:  identical,
+		Recovery:             curve,
+		CheckpointedRecovery: ckcurve,
+		Passivation:          pcurve,
 	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -230,6 +292,16 @@ func (r *Runner) serveRecovery(w io.Writer) error {
 	allIdentical := identical
 	for _, pt := range rep.Recovery {
 		fmt.Fprintf(tw, "%d\t%d\t%.3gs\t%.3gs\t%v\n", pt.Rounds, pt.Trials, pt.P50Seconds, pt.P99Seconds, pt.Identical)
+		allIdentical = allIdentical && pt.Identical
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rounds\tckpt interval\ttrials\tp50 recovery\tp99 recovery\tfrom checkpoint\tidentical next batch")
+	for _, pt := range rep.CheckpointedRecovery {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.3gs\t%.3gs\t%v\t%v\n", pt.Rounds, pt.Interval, pt.Trials,
+			pt.P50Seconds, pt.P99Seconds, pt.FromCheckpoint, pt.Identical)
 		allIdentical = allIdentical && pt.Identical
 	}
 	if err := tw.Flush(); err != nil {
@@ -279,10 +351,12 @@ func recoveryPoint(reg *serve.Registry, cfg serve.Config, g *graph.Graph, rounds
 		return nil, err
 	}
 
+	// WithCheckpointEvery(0) pins this curve to full replay: it is the
+	// baseline the checkpointed curve is judged against.
 	pt := &RecoveryPoint{Rounds: rounds, Trials: trials, Identical: true}
 	lats := make([]float64, 0, trials)
 	for i := 0; i < trials; i++ {
-		lat, got, err := killAndRecover(reg, cfg, rounds)
+		lat, got, _, err := killAndRecover(reg, cfg, rounds, serve.WithCheckpointEvery(0))
 		if err != nil {
 			return nil, err
 		}
@@ -296,22 +370,67 @@ func recoveryPoint(reg *serve.Registry, cfg serve.Config, g *graph.Graph, rounds
 	return pt, nil
 }
 
+// checkpointedRecoveryPoint is recoveryPoint with checkpointing at the
+// given interval (and journal compaction, the default) enabled on the
+// journaling manager and the recovering one alike.
+func checkpointedRecoveryPoint(reg *serve.Registry, cfg serve.Config, rounds, interval, trials int) (*CheckpointedRecoveryPoint, error) {
+	refMgr := serve.NewManager(reg, 0)
+	defer refMgr.CloseAll()
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := driveBatchOnly(ref, rounds); err != nil {
+		return nil, err
+	}
+	wantNext, err := ref.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &CheckpointedRecoveryPoint{Rounds: rounds, Interval: interval, Trials: trials,
+		FromCheckpoint: true, Identical: true}
+	lats := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		lat, got, restores, err := killAndRecover(reg, cfg, rounds, serve.WithCheckpointEvery(interval))
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, lat)
+		if restores != 1 {
+			pt.FromCheckpoint = false
+		}
+		if !slices.Equal(got, wantNext) {
+			pt.Identical = false
+		}
+	}
+	if rounds >= interval != pt.FromCheckpoint {
+		return nil, fmt.Errorf("bench: %d-round recovery with interval %d: from_checkpoint=%v, want %v",
+			rounds, interval, pt.FromCheckpoint, rounds >= interval)
+	}
+	pt.P50Seconds = percentileF(lats, 0.50)
+	pt.P99Seconds = percentileF(lats, 0.99)
+	return pt, nil
+}
+
 // killAndRecover journals one campaign for `rounds` rounds, abandons it,
-// recovers into a fresh manager, and returns the Recover latency plus
-// the recovered session's next proposed batch.
-func killAndRecover(reg *serve.Registry, cfg serve.Config, rounds int) (float64, []int32, error) {
+// recovers into a fresh manager (built with the same extra options), and
+// returns the Recover latency, the recovered session's next proposed
+// batch, and how many sessions recovery restored from a checkpoint.
+func killAndRecover(reg *serve.Registry, cfg serve.Config, rounds int, opts ...serve.ManagerOption) (float64, []int32, int, error) {
 	dir, err := os.MkdirTemp("", "asti-bench-recover")
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer os.RemoveAll(dir)
-	mgr := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+	withDir := append([]serve.ManagerOption{serve.WithJournalDir(dir)}, opts...)
+	mgr := serve.NewManager(reg, 0, withDir...)
 	s, err := mgr.Create(cfg)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if err := driveBatchOnly(s, rounds); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	id := s.ID()
 	// CloseAll releases the policy's worker pool without writing closed
@@ -319,26 +438,26 @@ func killAndRecover(reg *serve.Registry, cfg serve.Config, rounds int) (float64,
 	// would leave — no resource leak, same recovery input.
 	mgr.CloseAll()
 
-	m := serve.NewManager(reg, 0, serve.WithJournalDir(dir))
+	m := serve.NewManager(reg, 0, withDir...)
 	defer m.CloseAll()
 	t0 := time.Now()
 	rep, err := m.Recover("")
 	lat := time.Since(t0).Seconds()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if rep.Recovered != 1 {
-		return 0, nil, fmt.Errorf("bench: recovered %d sessions, want 1 (warnings: %v)", rep.Recovered, rep.Warnings)
+		return 0, nil, 0, fmt.Errorf("bench: recovered %d sessions, want 1 (warnings: %v)", rep.Recovered, rep.Warnings)
 	}
 	rs, err := m.Session(id)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	got, err := rs.NextBatch()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
-	return lat, got, nil
+	return lat, got, rep.CheckpointRestores, nil
 }
 
 // passivationPoint runs `trials` passivate→reactivate round trips, each

@@ -23,6 +23,17 @@ func FuzzScan(f *testing.F) {
 	if frame, err := journal.Marshal(journal.TypeClosed, nil); err == nil {
 		f.Add(frame)
 	}
+	ck := journal.Checkpoint{
+		Round: 2, Seq: 1, Active: []int32{1, 4}, Delta: []int32{4},
+		Seeds: []int32{1, 4}, Rounds: []journal.CheckpointRound{{Seeds: []int32{1}}, {Seeds: []int32{4}}},
+		Rng:        [4]uint64{1, 2, 3, 4},
+		Policy:     journal.PolicyCheckpoint{RunSeed: 9, LastRound: 2, ReusePool: true},
+		PoolDigest: 0xDEAD, SamplerVersion: 2, GraphSig: 0xBEEF, HistoryDigest: 0x1234,
+	}
+	if frame, err := journal.Marshal(journal.TypeCheckpoint, ck); err == nil {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // torn checkpoint
+	}
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}) // huge length claim
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, valid, tailErr := journal.Scan(data)

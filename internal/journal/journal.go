@@ -7,7 +7,7 @@
 // contract — per-session seed, position-stable sampling, reuse-invisible
 // batches — under which a session's entire state is a pure function of
 // (dataset, policy config, seed, observation history). The journal
-// therefore records only that function's inputs, four record kinds:
+// therefore records that function's inputs, four record kinds:
 //
 //	created   the session's full Config (dataset, policy, model, seed, …)
 //	proposed  one NextBatch result: round number and the proposed seeds
@@ -19,6 +19,16 @@
 // replayed batch differs from the journaled one, the environment changed
 // (different dataset bytes, different binary) and recovery skips the
 // session instead of silently resuming a diverged campaign.
+//
+// A fifth kind, checkpoint, is a pure accelerator over that contract: a
+// periodic snapshot of the state the replay would compute, verified
+// against an actual replay before it is written and pinned to its
+// position in the history by a chained digest (see Checkpoint). Loaders
+// replay only the records past the newest trusted checkpoint and fall
+// back to full replay whenever a checkpoint cannot be trusted — a log
+// with every checkpoint ignored replays exactly as before. Store.Compact
+// drops the history a checkpoint makes redundant, bounding a log's disk
+// size by the checkpoint interval instead of the campaign length.
 //
 // # Framing
 //
@@ -57,6 +67,10 @@ const (
 	TypeObserved Type = 3
 	// TypeClosed marks a deliberately closed session; recovery skips it.
 	TypeClosed Type = 4
+	// TypeCheckpoint snapshots the session state replay would reach at
+	// this point in the log (see Checkpoint). Loaders that do not trust a
+	// checkpoint skip the record and replay through it.
+	TypeCheckpoint Type = 5
 )
 
 // String returns the record kind's name.
@@ -70,6 +84,8 @@ func (t Type) String() string {
 		return "observed"
 	case TypeClosed:
 		return "closed"
+	case TypeCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Type(%d)", byte(t))
 	}

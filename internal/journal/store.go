@@ -140,6 +140,83 @@ func (st *Store) Resume(id string) (*Resumed, error) {
 	return &Resumed{Writer: &Writer{f: f}, Records: recs, TailErr: tailErr}, nil
 }
 
+// Compact rewrites a session's log as [created record][newest checkpoint
+// record][records after it], dropping the replay history the checkpoint
+// makes redundant, and returns how many bytes the rewrite removed. The
+// rewrite is atomic (temp file, fsync, rename, directory fsync): a crash
+// at any point leaves either the old or the new file, never a blend.
+//
+// Compact refuses logs it cannot fully account for: a torn or corrupt
+// tail (the bytes being dropped must be provably redundant, and a
+// damaged log should stay on disk exactly as found), a log not starting
+// with a created record, or one whose checkpoint precedes nothing. A log
+// with no checkpoint past the created record is a no-op. The caller must
+// not hold an open Writer on the log: the writer's file offset would
+// dangle past the rewritten file. Compaction is deliberately the only
+// operation that discards acknowledged records — once the history before
+// a checkpoint is gone, a loader that distrusts that checkpoint can no
+// longer fall back to full replay, which is why writers verify a
+// checkpoint against replay before Compact may trust it.
+func (st *Store) Compact(id string) (removed int64, err error) {
+	path := st.path(id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	recs, valid, tailErr := Scan(data)
+	if tailErr != nil {
+		return 0, fmt.Errorf("journal: compact %s: refusing log with damaged tail at offset %d: %w", path, valid, tailErr)
+	}
+	if len(recs) == 0 || recs[0].Type != TypeCreated {
+		return 0, fmt.Errorf("journal: compact %s: log does not start with a created record", path)
+	}
+	last := -1
+	for i, rec := range recs {
+		if rec.Type == TypeCheckpoint {
+			last = i
+		}
+	}
+	if last < 2 {
+		// No checkpoint, or one already at position 1 (a previous
+		// compaction's base): nothing redundant to drop.
+		return 0, nil
+	}
+	buf := RawFrame(recs[0].Type, recs[0].Body)
+	for _, rec := range recs[last:] {
+		buf = append(buf, RawFrame(rec.Type, rec.Body)...)
+	}
+	if int64(len(buf)) >= int64(len(data)) {
+		return 0, nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("journal: compact: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := st.syncDir(); err != nil {
+		return 0, err
+	}
+	return int64(len(data)) - int64(len(buf)), nil
+}
+
 // Size returns the on-disk byte size of a session's log. It is the
 // store's contribution to memory/disk accounting: a manager rolls the
 // per-session sizes up into its journal-bytes gauge, and operators

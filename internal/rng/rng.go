@@ -59,6 +59,26 @@ func (r *Source) Seed(seed uint64) {
 	}
 }
 
+// State exports the generator's 256-bit position in its stream. Together
+// with SetState it lets a checkpoint capture "where the randomness is"
+// mid-run: restoring the state resumes the exact stream continuation, so
+// a session rebuilt from a snapshot draws the same values an
+// uninterrupted one would.
+func (r *Source) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState restores a position previously exported with State. An
+// all-zero state (never produced by Seed or the generator itself, but
+// conceivable in a corrupted snapshot) is a xoshiro fixed point and is
+// nudged the same way Seed guards it.
+func (r *Source) SetState(st [4]uint64) {
+	r.s0, r.s1, r.s2, r.s3 = st[0], st[1], st[2], st[3]
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0

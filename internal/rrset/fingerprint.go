@@ -1,0 +1,40 @@
+package rrset
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters, applied per
+// 64-bit word rather than per byte: the fingerprint folds whole counters
+// and node ids, so word granularity keeps the hash loop trivial while
+// preserving the avalanche FNV gives between mixed-in values.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a style running hash.
+func fnvMix(h, x uint64) uint64 {
+	return (h ^ x) * fnvPrime
+}
+
+// Fingerprint digests the collection's selection-relevant content: the
+// accounted set/node totals plus every nonzero coverage counter Λ_R(v)
+// in node order. Selections read only this layer (argmax and greedy both
+// derive from Λ), so two pools with equal fingerprints propose the same
+// seeds — whether a set's members are physically stored or the pool is
+// counts-only is a speed mode and deliberately outside the digest, as is
+// all arena/index layout.
+//
+// The serve layer stamps the fingerprint into WAL checkpoints as a
+// cross-check that a restored session's pool converges to the pool an
+// uninterrupted run carries — a diagnostic digest, not a cryptographic
+// commitment.
+func (c *Collection) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(c.count))
+	h = fnvMix(h, uint64(c.nodes))
+	for v := int32(0); v < c.n; v++ {
+		if c.cov[v] != 0 {
+			h = fnvMix(h, uint64(v))
+			h = fnvMix(h, uint64(c.cov[v]))
+		}
+	}
+	return h
+}

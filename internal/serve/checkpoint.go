@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"asti/internal/adaptive"
+	"asti/internal/bitset"
+	"asti/internal/graph"
+	"asti/internal/journal"
+	"asti/internal/trim"
+)
+
+// DefaultCheckpointEvery is the checkpoint interval a journaled manager
+// uses unless WithCheckpointEvery overrides it: after every 8 committed
+// rounds (and at campaign completion) the session snapshots its state
+// into the log, so recovery and reactivation replay at most 8 rounds
+// instead of the whole history.
+const DefaultCheckpointEvery = 8
+
+// policyCheckpointer is the contract a proposal policy must meet for its
+// session to checkpoint: export/restore of the cross-round continuation
+// state plus a pool fingerprint. Every built-in policy (trim.Policy,
+// which also backs AdaptIM) implements it; sessions whose policy does
+// not simply never checkpoint — the journal stays a plain replay log.
+type policyCheckpointer interface {
+	ExportCheckpoint() trim.CheckpointState
+	RestoreCheckpoint(trim.CheckpointState) error
+	PoolFingerprint() uint64
+}
+
+// exportCheckpointLocked snapshots the session's resumable state as a
+// journal checkpoint payload (false if the policy cannot checkpoint).
+// Callers hold s.mu.
+func (s *Session) exportCheckpointLocked() (journal.Checkpoint, bool) {
+	pc, ok := s.policy.(policyCheckpointer)
+	if !ok {
+		return journal.Checkpoint{}, false
+	}
+	cs := pc.ExportCheckpoint()
+	n := s.g.N()
+	active := make([]int32, 0, int(n)-len(s.inactive))
+	for v := int32(0); v < n; v++ {
+		if s.active.Get(v) {
+			active = append(active, v)
+		}
+	}
+	rounds := make([]journal.CheckpointRound, len(s.rounds))
+	for i, rt := range s.rounds {
+		rounds[i] = journal.CheckpointRound{
+			Seeds: rt.Seeds, Marginal: rt.Marginal,
+			NiBefore: rt.NiBefore, EtaIBefore: rt.EtaIBefore,
+		}
+	}
+	return journal.Checkpoint{
+		Round:  s.round,
+		Done:   s.phase == PhaseDone,
+		Seq:    s.ckpts + 1,
+		Active: active,
+		Delta:  append([]int32(nil), s.delta...),
+		Seeds:  append([]int32(nil), s.seeds...),
+		Rounds: rounds,
+		Rng:    s.src.State(),
+		Policy: journal.PolicyCheckpoint{
+			RunSeed: cs.RunSeed, LastRound: cs.LastRound, LastNi: cs.LastNi,
+			LastPool: cs.LastPool, Fallbacks: cs.Fallbacks, ReusePool: cs.ReusePool,
+		},
+		PoolDigest:     pc.PoolFingerprint(),
+		SamplerVersion: s.samplerVer,
+		GraphSig:       s.graphSig,
+		HistoryDigest:  s.histDigest,
+	}, true
+}
+
+// exportCheckpoint is exportCheckpointLocked taking the session lock
+// (used on scratch sessions during write-time verification).
+func (s *Session) exportCheckpoint() (journal.Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exportCheckpointLocked()
+}
+
+// applyCheckpoint rewinds a freshly built (never stepped) session to a
+// checkpoint's state. It validates the snapshot's internal consistency —
+// a checkpoint whose digest chain held can still be semantically damaged
+// (a bit flip with a fixed-up CRC) — and leaves the session untouched-up
+// to the first failure; callers discard the session and fall back to
+// full replay on any error. Environment pins (sampler version, graph
+// signature) are the caller's to check: they need session fields this
+// method is in the middle of establishing.
+func (s *Session) applyCheckpoint(ck journal.Checkpoint) error {
+	pc, ok := s.policy.(policyCheckpointer)
+	if !ok {
+		return errors.New("policy does not support checkpoints")
+	}
+	if ck.Round < 1 {
+		return fmt.Errorf("checkpoint round %d", ck.Round)
+	}
+	if len(ck.Rounds) != ck.Round {
+		return fmt.Errorf("checkpoint carries %d round traces for round %d", len(ck.Rounds), ck.Round)
+	}
+	n := s.g.N()
+	prev := int32(-1)
+	for _, v := range ck.Active {
+		if v <= prev || v >= n {
+			return fmt.Errorf("checkpoint active list invalid at node %d", v)
+		}
+		prev = v
+	}
+	for _, v := range ck.Delta {
+		if v < 0 || v >= n {
+			return fmt.Errorf("checkpoint delta node %d outside [0, n=%d)", v, n)
+		}
+	}
+	if activated := int64(len(ck.Active)); ck.Done != (activated >= s.eta) {
+		return fmt.Errorf("checkpoint done flag inconsistent with %d active nodes (eta %d)", activated, s.eta)
+	}
+	if err := pc.RestoreCheckpoint(trim.CheckpointState{
+		RunSeed: ck.Policy.RunSeed, LastRound: ck.Policy.LastRound,
+		LastNi: ck.Policy.LastNi, LastPool: ck.Policy.LastPool,
+		Fallbacks: ck.Policy.Fallbacks, ReusePool: ck.Policy.ReusePool,
+	}); err != nil {
+		return err
+	}
+	s.active = bitset.New(int(n))
+	for _, v := range ck.Active {
+		s.active.Set(v)
+	}
+	inactive := make([]int32, 0, int(n)-len(ck.Active))
+	for v := int32(0); v < n; v++ {
+		if !s.active.Get(v) {
+			inactive = append(inactive, v)
+		}
+	}
+	s.inactive = inactive
+	s.delta = append([]int32(nil), ck.Delta...)
+	s.seeds = append([]int32(nil), ck.Seeds...)
+	s.rounds = make([]adaptive.RoundTrace, len(ck.Rounds))
+	for i, rt := range ck.Rounds {
+		s.rounds[i] = adaptive.RoundTrace{
+			Seeds:    append([]int32(nil), rt.Seeds...),
+			Marginal: rt.Marginal, NiBefore: rt.NiBefore, EtaIBefore: rt.EtaIBefore,
+		}
+	}
+	s.round = ck.Round
+	s.phase = PhasePropose
+	if ck.Done {
+		s.phase = PhaseDone
+	}
+	s.src.SetState(ck.Rng)
+	s.ckpts = ck.Seq
+	s.lastCkptRound = ck.Round
+	return nil
+}
+
+// checkpointsEquivalent compares the replay-derivable state of two
+// checkpoints: everything a restored session's behavior depends on.
+// Seq and HistoryDigest are positional bookkeeping, and
+// Policy.Fallbacks is a speed mode that legitimately differs between a
+// live run and its replay (a replay never re-experiences the live run's
+// reuse fallbacks) — none of the three affect proposed batches.
+func checkpointsEquivalent(a, b journal.Checkpoint) bool {
+	if a.Round != b.Round || a.Done != b.Done || a.Rng != b.Rng ||
+		a.PoolDigest != b.PoolDigest ||
+		a.SamplerVersion != b.SamplerVersion || a.GraphSig != b.GraphSig {
+		return false
+	}
+	pa, pb := a.Policy, b.Policy
+	if pa.RunSeed != pb.RunSeed || pa.LastRound != pb.LastRound ||
+		pa.LastNi != pb.LastNi || pa.LastPool != pb.LastPool ||
+		pa.ReusePool != pb.ReusePool {
+		return false
+	}
+	if !slices.Equal(a.Active, b.Active) || !slices.Equal(a.Delta, b.Delta) ||
+		!slices.Equal(a.Seeds, b.Seeds) || len(a.Rounds) != len(b.Rounds) {
+		return false
+	}
+	for i := range a.Rounds {
+		if !slices.Equal(a.Rounds[i].Seeds, b.Rounds[i].Seeds) ||
+			a.Rounds[i].Marginal != b.Rounds[i].Marginal ||
+			a.Rounds[i].NiBefore != b.Rounds[i].NiBefore ||
+			a.Rounds[i].EtaIBefore != b.Rounds[i].EtaIBefore {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeCheckpointLocked writes one verified checkpoint for the session's
+// current state and, if compaction is on, truncates the log past it.
+// Callers hold s.mu and have checked the scheduling condition (interval
+// boundary or campaign completion, journal armed).
+//
+// The write path is deliberately paranoid: the snapshot is encoded,
+// decoded back, and checked for equivalence against a full rebuild of
+// this session's own log — the exact code path recovery would run — and
+// only a snapshot that survives is appended. A snapshot that fails is
+// counted and skipped; the session continues on plain replay, which is
+// always correct. Only a failed append (or a failed log reopen after
+// compaction) is an error: those break the write-ahead contract and
+// poison the session like any other append failure.
+func (s *Session) maybeCheckpointLocked() error {
+	ck, ok := s.exportCheckpointLocked()
+	if !ok {
+		return nil
+	}
+	frame, err := journal.Marshal(journal.TypeCheckpoint, ck)
+	if err != nil {
+		s.noteCheckpointFailed()
+		return nil
+	}
+	if !s.verifyCheckpointLocked(ck) {
+		s.noteCheckpointFailed()
+		return nil
+	}
+	if err := s.jw.AppendFrame(frame); err != nil {
+		return s.failLocked(fmt.Errorf("serve: round %d checkpoint: %w", s.round, err))
+	}
+	s.histDigest = journal.DigestFrame(s.histDigest, frame)
+	s.ckpts = ck.Seq
+	s.lastCkptRound = s.round
+	if s.mgr != nil {
+		s.mgr.noteCheckpoint()
+	}
+	if s.compactOn {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// verifyCheckpointLocked round-trips a checkpoint through its codec and
+// checks the decoded snapshot for equivalence with a replay-from-scratch
+// rebuild of the session's log (which itself restores from the previous
+// verified checkpoint, so each verification covers the new suffix).
+// Callers hold s.mu; the scratch session is built and released inside.
+func (s *Session) verifyCheckpointLocked(ck journal.Checkpoint) bool {
+	if s.mgr == nil || s.store == nil || s.id == "" {
+		return false
+	}
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return false
+	}
+	var dec journal.Checkpoint
+	if err := json.Unmarshal(body, &dec); err != nil {
+		return false
+	}
+	recs, tailErr, err := s.store.Load(s.id)
+	if err != nil || tailErr != nil {
+		return false
+	}
+	scratch, _, _, err := s.mgr.rebuild(recs, nil)
+	if err != nil {
+		return false
+	}
+	defer scratch.release()
+	ref, ok := scratch.exportCheckpoint()
+	if !ok {
+		return false
+	}
+	return checkpointsEquivalent(dec, ref)
+}
+
+// compactLocked truncates the session's log past the checkpoint just
+// written: the writer is closed (Compact must own the file), the log
+// rewritten as [created][checkpoint], and a fresh writer resumed at its
+// end. Callers hold s.mu. A failed rewrite is harmless (the log is
+// intact either way — rename is atomic) but a failed reopen leaves the
+// session without a writer, which poisons it like an append failure.
+func (s *Session) compactLocked() error {
+	if s.store == nil || s.id == "" || s.jw == nil {
+		return nil
+	}
+	_ = s.jw.Close()
+	s.jw = nil
+	removed, cerr := s.store.Compact(s.id)
+	res, rerr := s.store.Resume(s.id)
+	if rerr != nil {
+		return s.failLocked(fmt.Errorf("serve: reopening log after compaction: %w", rerr))
+	}
+	s.jw = res.Writer
+	if cerr == nil && removed > 0 && s.mgr != nil {
+		s.mgr.noteCompaction(removed)
+	}
+	return nil
+}
+
+// noteCheckpointFailed rolls a skipped (unverifiable or unencodable)
+// checkpoint into the manager's counter.
+func (s *Session) noteCheckpointFailed() {
+	if s.mgr != nil {
+		s.mgr.noteCheckpointFailed()
+	}
+}
+
+// graphSig returns the manager's cached structural fingerprint for g,
+// computing it on first use (one O(m) pass per distinct graph per
+// process). Checkpoints pin it so that state snapshotted on one dataset
+// can never restore onto different graph bytes that happen to share the
+// dataset name.
+func (m *Manager) graphSig(g *graph.Graph) uint64 {
+	m.mu.Lock()
+	sig, ok := m.graphSigs[g]
+	m.mu.Unlock()
+	if ok {
+		return sig
+	}
+	sig = graphFingerprint(g)
+	m.mu.Lock()
+	if m.graphSigs == nil {
+		m.graphSigs = map[*graph.Graph]uint64{}
+	}
+	m.graphSigs[g] = sig
+	m.mu.Unlock()
+	return sig
+}
+
+// graphFingerprint digests a graph's sampled structure: node/edge
+// counts, direction convention, and the fused in-adjacency stream the
+// sampler actually walks (offsets, sources, probability bits). FNV-1a
+// over 64-bit words, same scheme as rrset.Collection.Fingerprint.
+func graphFingerprint(g *graph.Graph) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	mix := func(h, x uint64) uint64 { return (h ^ x) * prime64 }
+	h := uint64(offset64)
+	h = mix(h, uint64(g.N()))
+	h = mix(h, uint64(g.M()))
+	if g.Directed() {
+		h = mix(h, 1)
+	} else {
+		h = mix(h, 2)
+	}
+	off, edges := g.FusedIn()
+	for _, o := range off {
+		h = mix(h, uint64(o))
+	}
+	for _, e := range edges {
+		h = mix(h, uint64(uint32(e.Src))<<32|uint64(math.Float32bits(e.P)))
+	}
+	return h
+}
+
+// selectCheckpoint walks a log once, maintaining the record digest
+// chain, and returns the newest checkpoint whose HistoryDigest matches
+// the chain at its position (plus the chain over the whole log, which
+// becomes the recovered session's running digest). A checkpoint at
+// record index 1 is the base a compaction left behind — the history it
+// digests was dropped, and Compact only ever runs past a write-verified
+// checkpoint — so it restarts the chain from its stored digest instead
+// of being checked against the (empty) prefix. Checkpoints that fail to
+// decode or to match the chain are ignored here and skipped by replay;
+// semantic validation of the selected checkpoint happens at restore.
+func selectCheckpoint(recs []journal.Record) (idx int, ck journal.Checkpoint, found bool, end uint32) {
+	idx = -1
+	var d uint32
+	for i, rec := range recs {
+		if rec.Type == journal.TypeCheckpoint {
+			var c journal.Checkpoint
+			if err := json.Unmarshal(rec.Body, &c); err == nil {
+				if i == 1 {
+					d = c.HistoryDigest
+					idx, ck, found = i, c, true
+				} else if c.HistoryDigest == d {
+					idx, ck, found = i, c, true
+				}
+			}
+		}
+		d = journal.DigestRecord(d, rec.Type, rec.Body)
+	}
+	return idx, ck, found, d
+}

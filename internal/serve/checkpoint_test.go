@@ -1,0 +1,391 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"asti/internal/journal"
+	"asti/internal/serve"
+)
+
+// rewriteWAL loads a clean log, hands every decoded checkpoint to
+// mutate (index = record position) and re-frames the file with correct
+// CRCs — the shape of damage a CRC cannot catch.
+func rewriteWAL(t *testing.T, path string, mutate func(idx int, ck *journal.Checkpoint)) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, tailErr := journal.Scan(data)
+	if tailErr != nil {
+		t.Fatal(tailErr)
+	}
+	var out []byte
+	for i, rec := range recs {
+		if rec.Type != journal.TypeCheckpoint {
+			out = append(out, journal.RawFrame(rec.Type, rec.Body)...)
+			continue
+		}
+		var ck journal.Checkpoint
+		if err := json.Unmarshal(rec.Body, &ck); err != nil {
+			t.Fatal(err)
+		}
+		mutate(i, &ck)
+		frame, err := journal.Marshal(journal.TypeCheckpoint, ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frame...)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptionMatrix pins the failure ladder for damaged
+// checkpoints. A 5-round campaign with checkpoints every 2 rounds and
+// compaction off leaves a log whose full history is still present, so
+// every kind of checkpoint damage has a safe landing: a semantically
+// corrupted snapshot (valid CRC, valid digest chain) falls back to full
+// replay, a broken digest chain falls back to the previous checkpoint,
+// both checkpoints broken falls back to full replay, environment-pin
+// drift falls back to full replay, and a CRC-level flip truncates the
+// log to its valid prefix. In every case boot succeeds and the session
+// proposes byte-identical batches to an uninterrupted run.
+func TestCheckpointCorruptionMatrix(t *testing.T) {
+	const rounds = 5
+	reg := testRegistry(t)
+	cfg := serve.Config{Dataset: "test", EtaFrac: 0.5, Epsilon: 0.5, Seed: 23, Workers: 1}
+	opts := []serve.ManagerOption{serve.WithCheckpointEvery(2), serve.WithCompaction(false)}
+
+	refMgr := serve.NewManager(reg, 0)
+	defer refMgr.CloseAll()
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBatch := driveBatchOnlyRounds(t, ref, rounds)
+	refNext, err := ref.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	mgr := serve.NewManager(reg, 0, append(opts, serve.WithJournalDir(dir))...)
+	s, err := mgr.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID()
+	driveBatchOnlyRounds(t, s, rounds)
+	mgr.CloseAll()
+	pristine, err := os.ReadFile(filepath.Join(dir, id+".wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, tailErr := journal.Scan(pristine)
+	if tailErr != nil {
+		t.Fatal(tailErr)
+	}
+	var ckIdx []int
+	for i, rec := range recs {
+		if rec.Type == journal.TypeCheckpoint {
+			ckIdx = append(ckIdx, i)
+		}
+	}
+	if len(ckIdx) != 2 {
+		t.Fatalf("log holds %d checkpoints, want 2 (at rounds 2 and 4)", len(ckIdx))
+	}
+	newest := ckIdx[len(ckIdx)-1]
+
+	cases := []struct {
+		name string
+		// corrupt damages a pristine copy of the log at path.
+		corrupt func(t *testing.T, path string)
+		// wantRound is the committed round recovery must land on.
+		wantRound int
+		// wantRestores is the expected checkpoint-restore count.
+		wantRestores int
+		// wantWarning, if non-empty, must appear in a recovery warning.
+		wantWarning string
+	}{
+		{
+			// Valid CRC, valid digest chain, nonsense payload: the semantic
+			// validation at restore rejects it and recovery replays in full.
+			name: "semantic corruption in newest checkpoint",
+			corrupt: func(t *testing.T, path string) {
+				rewriteWAL(t, path, func(i int, ck *journal.Checkpoint) {
+					if i == newest {
+						ck.Round = 999
+					}
+				})
+			},
+			wantRound: rounds, wantRestores: 0, wantWarning: "falling back to full replay",
+		},
+		{
+			// A digest that no longer matches the chain: the newest
+			// checkpoint is distrusted, the previous one still restores.
+			name: "digest chain broken on newest checkpoint",
+			corrupt: func(t *testing.T, path string) {
+				rewriteWAL(t, path, func(i int, ck *journal.Checkpoint) {
+					if i == newest {
+						ck.HistoryDigest ^= 1
+					}
+				})
+			},
+			wantRound: rounds, wantRestores: 1,
+		},
+		{
+			name: "digest chain broken on every checkpoint",
+			corrupt: func(t *testing.T, path string) {
+				rewriteWAL(t, path, func(i int, ck *journal.Checkpoint) {
+					ck.HistoryDigest ^= 1
+				})
+			},
+			wantRound: rounds, wantRestores: 0,
+		},
+		{
+			// The dataset pin no longer matches the loaded graph: the
+			// snapshot describes a different campaign and must not restore.
+			name: "graph signature drift",
+			corrupt: func(t *testing.T, path string) {
+				rewriteWAL(t, path, func(i int, ck *journal.Checkpoint) {
+					ck.GraphSig ^= 1
+				})
+			},
+			wantRound: rounds, wantRestores: 0, wantWarning: "dataset drift",
+		},
+		{
+			name: "sampler version drift",
+			corrupt: func(t *testing.T, path string) {
+				rewriteWAL(t, path, func(i int, ck *journal.Checkpoint) {
+					ck.SamplerVersion++
+				})
+			},
+			wantRound: rounds, wantRestores: 0, wantWarning: "sampler version drift",
+		},
+		{
+			// A raw bit flip the CRC does catch: the scan stops there, the
+			// suffix is lost, and the session resumes from the valid prefix
+			// (round 4, the last transition before the flipped frame).
+			name: "CRC-level flip in newest checkpoint",
+			corrupt: func(t *testing.T, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := 0
+				for _, rec := range recs[:newest] {
+					off += len(journal.RawFrame(rec.Type, rec.Body))
+				}
+				data[off+12] ^= 0x40
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRound: rounds - 1, wantRestores: 1, wantWarning: "damaged tail",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cdir := t.TempDir()
+			path := filepath.Join(cdir, id+".wal")
+			if err := os.WriteFile(path, append([]byte(nil), pristine...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, path)
+			m := serve.NewManager(reg, 0, append(opts, serve.WithJournalDir(cdir))...)
+			defer m.CloseAll()
+			rep, err := m.Recover("")
+			if err != nil {
+				t.Fatalf("boot failed: %v", err)
+			}
+			if rep.Recovered != 1 || rep.Skipped != 0 {
+				t.Fatalf("recovery report %+v, want the session recovered", rep)
+			}
+			if rep.CheckpointRestores != tc.wantRestores {
+				t.Errorf("checkpoint restores %d, want %d (warnings: %v)",
+					rep.CheckpointRestores, tc.wantRestores, rep.Warnings)
+			}
+			if tc.wantWarning != "" {
+				found := false
+				for _, w := range rep.Warnings {
+					found = found || strings.Contains(w, tc.wantWarning)
+				}
+				if !found {
+					t.Errorf("no warning mentioning %q in %v", tc.wantWarning, rep.Warnings)
+				}
+			}
+			rs, err := m.Session(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := rs.Status(); st.Round != tc.wantRound {
+				t.Fatalf("recovered to round %d, want %d", st.Round, tc.wantRound)
+			}
+			// Whatever the fallback path, the session must continue the
+			// reference batch stream exactly.
+			for r := tc.wantRound + 1; r <= rounds; r++ {
+				batch, err := rs.NextBatch()
+				if err != nil {
+					t.Fatalf("round %d NextBatch: %v", r, err)
+				}
+				if !slices.Equal(batch, refBatch[r]) {
+					t.Fatalf("round %d batch diverged after corrupted recovery", r)
+				}
+				if _, err := rs.Observe(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := rs.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, refNext) {
+				t.Error("next batch diverged after corrupted recovery")
+			}
+		})
+	}
+}
+
+// TestCheckpointingOutputInvisible pins the acceptance criterion that
+// checkpoints and compaction are pure speed features: the same campaign
+// run with checkpointing on (interval 2, compaction on), checkpointing
+// off, and with no journal at all proposes byte-identical seed
+// sequences — while the checkpointing manager really did checkpoint and
+// compact.
+func TestCheckpointingOutputInvisible(t *testing.T) {
+	const rounds = 6
+	reg := testRegistry(t)
+	cfg := serve.Config{Dataset: "test", EtaFrac: 0.5, Epsilon: 0.5, Seed: 31, Workers: 1}
+
+	run := func(opts ...serve.ManagerOption) ([][]int32, *serve.Manager) {
+		mgr := serve.NewManager(reg, 0, opts...)
+		s, err := mgr.Create(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return driveBatchOnlyRounds(t, s, rounds), mgr
+	}
+	plain, plainMgr := run()
+	defer plainMgr.CloseAll()
+	off, offMgr := run(serve.WithJournalDir(t.TempDir()), serve.WithCheckpointEvery(0))
+	defer offMgr.CloseAll()
+	on, onMgr := run(serve.WithJournalDir(t.TempDir()), serve.WithCheckpointEvery(2))
+	defer onMgr.CloseAll()
+
+	for r := 1; r <= rounds; r++ {
+		if !slices.Equal(plain[r], on[r]) || !slices.Equal(plain[r], off[r]) {
+			t.Fatalf("round %d batches differ across checkpointing modes", r)
+		}
+	}
+	if st := onMgr.Stats(); st.Checkpoints == 0 || st.Compactions == 0 {
+		t.Errorf("checkpointing manager wrote %d checkpoints, %d compactions; want both > 0",
+			st.Checkpoints, st.Compactions)
+	}
+	mt := onMgr.Metrics()
+	if mt.CheckpointFailures != 0 {
+		t.Errorf("%d checkpoint verification failures on a healthy run", mt.CheckpointFailures)
+	}
+	if mt.CompactedBytes == 0 {
+		t.Error("compaction reclaimed 0 bytes over a 6-round campaign")
+	}
+	if st := offMgr.Stats(); st.Checkpoints != 0 {
+		t.Errorf("checkpoint-off manager wrote %d checkpoints", st.Checkpoints)
+	}
+}
+
+// TestRecoverLegacyLog pins backward compatibility: a journal written
+// before checkpoints existed (indistinguishable from one written with
+// checkpointing disabled) recovers by full replay under a checkpointing
+// manager, and from then on the recovered session checkpoints normally —
+// the digest chain is computed by the reader, so old logs need no
+// rewriting to become checkpoint-capable.
+func TestRecoverLegacyLog(t *testing.T) {
+	reg := testRegistry(t)
+	cfg := serve.Config{Dataset: "test", EtaFrac: 0.5, Epsilon: 0.5, Seed: 41, Workers: 1}
+	dir := t.TempDir()
+
+	legacy := serve.NewManager(reg, 0, serve.WithJournalDir(dir), serve.WithCheckpointEvery(0))
+	s, err := legacy.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID()
+	driveBatchOnlyRounds(t, s, 3)
+	legacy.CloseAll()
+
+	refMgr := serve.NewManager(reg, 0)
+	defer refMgr.CloseAll()
+	ref, err := refMgr.Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBatch := driveBatchOnlyRounds(t, ref, 4)
+	refNext, err := ref.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: full replay (there is nothing to restore from), then
+	// one more round crosses the interval boundary and writes the log's
+	// first checkpoint.
+	m1 := serve.NewManager(reg, 0, serve.WithJournalDir(dir), serve.WithCheckpointEvery(2))
+	rep, err := m1.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.CheckpointRestores != 0 {
+		t.Fatalf("legacy recovery report %+v, want 1 recovered, 0 from checkpoint", rep)
+	}
+	rs, err := m1.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := rs.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(batch, refBatch[4]) {
+		t.Fatal("legacy-recovered session diverged from reference")
+	}
+	if _, err := rs.Observe(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := rs.Status(); st.Checkpoints != 1 || st.LastCheckpointRound != 4 {
+		t.Fatalf("after crossing the interval: %d checkpoints, last at round %d; want 1 at round 4",
+			st.Checkpoints, st.LastCheckpointRound)
+	}
+	m1.CloseAll()
+
+	// Second restart proves the upgraded log now recovers through its
+	// checkpoint.
+	m2 := serve.NewManager(reg, 0, serve.WithJournalDir(dir), serve.WithCheckpointEvery(2))
+	defer m2.CloseAll()
+	rep, err = m2.Recover("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovered != 1 || rep.CheckpointRestores != 1 {
+		t.Fatalf("post-upgrade recovery report %+v, want a checkpoint restore", rep)
+	}
+	rs2, err := m2.Session(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rs2.Status(); st.Checkpoints != 1 || st.LastCheckpointRound != 4 {
+		t.Fatalf("restored checkpoint counters %d/%d, want 1/4", st.Checkpoints, st.LastCheckpointRound)
+	}
+	got, err := rs2.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, refNext) {
+		t.Fatal("checkpoint-restored session diverged from reference")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"asti/internal/adaptive"
 	"asti/internal/baselines"
 	"asti/internal/diffusion"
+	"asti/internal/graph"
 	"asti/internal/journal"
 	"asti/internal/rrset"
 	"asti/internal/trim"
@@ -98,6 +99,19 @@ type Manager struct {
 	reactivations uint64
 	passive       int
 
+	// Checkpointing configuration and counters (the config fields are
+	// set at construction and read-only afterwards; counters guarded by
+	// mu). graphSigs caches the per-graph structural fingerprint that
+	// checkpoints pin (computed once per distinct graph).
+	ckptEvery      int
+	compact        bool
+	graphSigs      map[*graph.Graph]uint64
+	checkpoints    uint64
+	ckptFailures   uint64
+	compactions    uint64
+	compactedBytes uint64
+	ckptRestores   uint64
+
 	// reactMu guards reactInflight: one replay per session id at a time
 	// (concurrent lookups of one passivated session wait for the winner
 	// instead of racing duplicate replays), while reactivations of
@@ -156,11 +170,44 @@ func WithIdleTTL(ttl time.Duration) ManagerOption {
 	return func(m *Manager) { m.idleTTL = ttl }
 }
 
+// WithCheckpointEvery sets the checkpoint interval in committed rounds:
+// a journaled session snapshots its resumable state into the log after
+// every k rounds (and at campaign completion), so recovery and
+// reactivation replay at most k rounds past the newest checkpoint
+// instead of the whole history. k <= 0 disables checkpointing (the
+// journal degrades gracefully to the plain full-replay log of PR 4);
+// without this option a journaled manager checkpoints every
+// DefaultCheckpointEvery rounds. Checkpoints are invisible in the
+// output: a session proposes byte-identical batches with checkpointing
+// on, off, or restored-from.
+func WithCheckpointEvery(k int) ManagerOption {
+	return func(m *Manager) {
+		if k < 0 {
+			k = 0
+		}
+		m.ckptEvery = k
+	}
+}
+
+// WithCompaction arms or disarms log truncation past each written
+// checkpoint (on by default). With compaction off the log keeps its full
+// history — checkpoints still accelerate recovery, and a distrusted
+// checkpoint can still fall back to replay-from-zero; operators who want
+// an audit trail of every transition trade disk growth for it.
+func WithCompaction(on bool) ManagerOption {
+	return func(m *Manager) { m.compact = on }
+}
+
+// CheckpointEvery returns the manager's checkpoint interval in rounds
+// (0 = checkpointing off).
+func (m *Manager) CheckpointEvery() int { return m.ckptEvery }
+
 // NewManager returns a manager resolving datasets from reg. limit caps
 // the number of concurrently open sessions (0 = unlimited).
 func NewManager(reg *Registry, limit int, opts ...ManagerOption) *Manager {
 	m := &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit,
-		reactInflight: map[string]chan struct{}{}}
+		reactInflight: map[string]chan struct{}{},
+		ckptEvery:     DefaultCheckpointEvery, compact: true}
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -238,6 +285,34 @@ func (m *Manager) notePassivated() {
 func (m *Manager) notePassivatedClosed() {
 	m.mu.Lock()
 	m.passive--
+	m.mu.Unlock()
+}
+
+// noteCheckpoint / noteCheckpointFailed / noteCompaction /
+// noteCheckpointRestore maintain the checkpoint counters; sessions call
+// the first three from under their own lock (lock order s.mu → m.mu).
+func (m *Manager) noteCheckpoint() {
+	m.mu.Lock()
+	m.checkpoints++
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteCheckpointFailed() {
+	m.mu.Lock()
+	m.ckptFailures++
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteCompaction(bytes int64) {
+	m.mu.Lock()
+	m.compactions++
+	m.compactedBytes += uint64(bytes)
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteCheckpointRestore() {
+	m.mu.Lock()
+	m.ckptRestores++
 	m.mu.Unlock()
 }
 
@@ -367,22 +442,34 @@ func (m *Manager) buildSession(cfg Config) (*Session, error) {
 	s.dataset = cfg.Dataset
 	s.samplerVer = int(ver)
 	s.mgr = m
+	s.ckptEvery = m.ckptEvery
+	s.compactOn = m.compact
+	s.graphSig = m.graphSig(g)
 	return s, nil
 }
 
 // journalCreate opens the session's log in st and commits its created
 // record; only then is write-ahead logging armed on the session.
 func journalCreate(st *journal.Store, s *Session, cfg Config) error {
+	frame, err := journal.Marshal(journal.TypeCreated, createdRecord(cfg))
+	if err != nil {
+		return err
+	}
 	w, err := st.Create(s.id)
 	if err != nil {
 		return err
 	}
-	if err := w.Append(journal.TypeCreated, createdRecord(cfg)); err != nil {
+	if err := w.AppendFrame(frame); err != nil {
 		w.Close()
 		_ = st.Remove(s.id)
 		return err
 	}
 	s.attachJournal(w, st)
+	// Seed the history digest chain with the created record; every later
+	// append folds itself in (checkpoints pin their log position with it).
+	s.mu.Lock()
+	s.histDigest = journal.DigestFrame(0, frame)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -537,9 +624,12 @@ func (m *Manager) replayPassivated(id string) (*Session, error) {
 		// being appended is expected, stays lenient — see Recover).
 		return nil, fmt.Errorf("serve: reactivate %s: journal damaged while passivated: %w", id, tailErr)
 	}
-	s, _, err := m.rebuild(recs)
+	s, _, fromCkpt, err := m.rebuild(recs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reactivate %s: %w", id, err)
+	}
+	if fromCkpt {
+		m.noteCheckpointRestore()
 	}
 	res, err := st.Resume(id)
 	if err != nil {
@@ -642,6 +732,13 @@ type Stats struct {
 	// manager was built.
 	Passivations  uint64
 	Reactivations uint64
+	// Checkpoints counts verified checkpoints written, Compactions the
+	// log truncations past them, and CheckpointRestores the recoveries
+	// and reactivations that resumed from a checkpoint instead of a full
+	// replay.
+	Checkpoints        uint64
+	Compactions        uint64
+	CheckpointRestores uint64
 }
 
 // Stats returns the manager's O(1) lifecycle counters.
@@ -649,10 +746,13 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Sessions:      len(m.sessions),
-		Passivated:    m.passive,
-		Passivations:  m.passivations,
-		Reactivations: m.reactivations,
+		Sessions:           len(m.sessions),
+		Passivated:         m.passive,
+		Passivations:       m.passivations,
+		Reactivations:      m.reactivations,
+		Checkpoints:        m.checkpoints,
+		Compactions:        m.compactions,
+		CheckpointRestores: m.ckptRestores,
 	}
 }
 
@@ -682,11 +782,23 @@ type Metrics struct {
 	// manager was built.
 	Passivations  uint64
 	Reactivations uint64
+	// Checkpoints / CheckpointFailures count verified checkpoints written
+	// and snapshots skipped because they failed write-time verification.
+	Checkpoints        uint64
+	CheckpointFailures uint64
+	// Compactions counts log truncations past a checkpoint, and
+	// CompactedBytes the total journal bytes they reclaimed.
+	Compactions    uint64
+	CompactedBytes uint64
+	// CheckpointRestores counts recoveries/reactivations that resumed
+	// from a checkpoint instead of replaying the full history.
+	CheckpointRestores uint64
 	// PoolBytes is the summed per-session sampling-pool estimate
 	// (passivated sessions contribute 0 — that is the point).
 	PoolBytes int64
 	// JournalBytes is the summed on-disk size of the open sessions' logs
-	// (0 for an unjournaled manager).
+	// (0 for an unjournaled manager). With compaction on it stays bounded
+	// by the checkpoint interval instead of growing with campaign length.
 	JournalBytes int64
 }
 
@@ -700,9 +812,14 @@ func (m *Manager) Metrics() Metrics {
 	}
 	st := m.journal
 	mt := Metrics{
-		Phases:        map[string]int{},
-		Passivations:  m.passivations,
-		Reactivations: m.reactivations,
+		Phases:             map[string]int{},
+		Passivations:       m.passivations,
+		Reactivations:      m.reactivations,
+		Checkpoints:        m.checkpoints,
+		CheckpointFailures: m.ckptFailures,
+		Compactions:        m.compactions,
+		CompactedBytes:     m.compactedBytes,
+		CheckpointRestores: m.ckptRestores,
 	}
 	m.mu.Unlock()
 	for _, s := range sessions {

@@ -22,8 +22,13 @@ type RecoveryReport struct {
 	// record, replay divergence, unknown record types). Their files are
 	// left on disk for inspection; each has a Warning explaining why.
 	Skipped int
-	// Rounds is the total number of proposals replayed.
+	// Rounds is the total number of proposals replayed (with checkpoints,
+	// only the suffix past the newest trusted checkpoint is replayed, so
+	// this stays bounded by the checkpoint interval).
 	Rounds int
+	// CheckpointRestores counts sessions that resumed from a verified
+	// checkpoint instead of replaying their full history.
+	CheckpointRestores int
 	// Warnings lists per-session anomalies: truncated torn tails,
 	// skipped logs, replay mismatches. Recovery itself still succeeds —
 	// a damaged log must never take the whole service down.
@@ -130,7 +135,7 @@ func (m *Manager) recoverOne(st *journal.Store, id string, rep *RecoveryReport) 
 			return
 		}
 	}
-	s, rounds, err := m.rebuild(recs)
+	s, rounds, fromCkpt, err := m.rebuild(recs, warnf)
 	if err != nil {
 		skip("%v", err)
 		return
@@ -157,39 +162,100 @@ func (m *Manager) recoverOne(st *journal.Store, id string, rep *RecoveryReport) 
 	m.mu.Unlock()
 	rep.Recovered++
 	rep.Rounds += rounds
+	if fromCkpt {
+		rep.CheckpointRestores++
+		m.noteCheckpointRestore()
+	}
 }
 
 // rebuild constructs a fresh session from a log's records — the created
-// record resolves to a Config exactly as Create saw it, then every
-// proposal/observation is replayed through the deterministic engine —
-// and returns it with the number of rounds replayed. It is the shared
-// core of crash recovery (recoverOne) and idle reactivation
-// (Manager.reactivate); the session comes back unjournaled and
-// unregistered, with any partially built state released on failure.
-func (m *Manager) rebuild(recs []journal.Record) (*Session, int, error) {
+// record resolves to a Config exactly as Create saw it, then the
+// journaled history is replayed through the deterministic engine — and
+// returns it with the number of rounds replayed and whether a verified
+// checkpoint shortcut the replay. It is the shared core of crash
+// recovery (recoverOne), idle reactivation (Manager.reactivate) and
+// write-time checkpoint verification; the session comes back
+// unjournaled and unregistered, with any partially built state released
+// on failure.
+//
+// When the log carries a trusted checkpoint (digest chain intact,
+// environment pins match), rebuild restores the snapshot and replays
+// only the suffix past it — O(checkpoint interval) instead of O(rounds).
+// Any doubt about the checkpoint — pin mismatch, restore failure, suffix
+// divergence — falls back to a full replay from the created record,
+// reported through warnf (nil for silent). The fallback is impossible
+// only after compaction has dropped the prefix, in which case the full
+// replay fails naturally and the caller skips the session.
+func (m *Manager) rebuild(recs []journal.Record, warnf func(string, ...any)) (*Session, int, bool, error) {
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
 	if len(recs) == 0 || recs[0].Type != journal.TypeCreated {
 		got := journal.Type(0)
 		if len(recs) > 0 {
 			got = recs[0].Type
 		}
-		return nil, 0, fmt.Errorf("log starts with %s, want created", got)
+		return nil, 0, false, fmt.Errorf("log starts with %s, want created", got)
 	}
 	var created journal.Created
 	if err := json.Unmarshal(recs[0].Body, &created); err != nil {
-		return nil, 0, fmt.Errorf("created record: %w", err)
+		return nil, 0, false, fmt.Errorf("created record: %w", err)
 	}
 	cfg, err := configFromRecord(created)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
+	}
+	idx, ck, found, end := selectCheckpoint(recs)
+	if found {
+		s, rounds, err := m.rebuildFromCheckpoint(cfg, recs, idx, ck)
+		if err == nil {
+			s.histDigest = end
+			return s, rounds, true, nil
+		}
+		warnf("checkpoint at round %d unusable (%v); falling back to full replay", ck.Round, err)
 	}
 	s, err := m.buildSession(cfg)
 	if err != nil {
-		return nil, 0, fmt.Errorf("rebuild: %w", err)
+		return nil, 0, false, fmt.Errorf("rebuild: %w", err)
 	}
 	rounds, err := replay(s, recs[1:])
 	if err != nil {
 		s.release()
-		return nil, 0, fmt.Errorf("replay: %w", err)
+		return nil, 0, false, fmt.Errorf("replay: %w", err)
+	}
+	s.histDigest = end
+	return s, rounds, false, nil
+}
+
+// rebuildFromCheckpoint restores a session from a trusted checkpoint at
+// recs[idx] and replays only the records after it. The environment pins
+// carried by the checkpoint — sampler contract version, dataset
+// fingerprint, pool-reuse mode (checked inside RestoreCheckpoint) — must
+// match the session this manager would build today: a snapshot taken
+// under a different environment is internally consistent but describes a
+// different campaign, and replaying the suffix would diverge in ways a
+// short suffix may not expose.
+func (m *Manager) rebuildFromCheckpoint(cfg Config, recs []journal.Record, idx int, ck journal.Checkpoint) (*Session, int, error) {
+	s, err := m.buildSession(cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rebuild: %w", err)
+	}
+	if ck.SamplerVersion != s.samplerVer {
+		s.release()
+		return nil, 0, fmt.Errorf("sampler version drift: checkpoint has v%d, runtime resolves v%d", ck.SamplerVersion, s.samplerVer)
+	}
+	if ck.GraphSig != s.graphSig {
+		s.release()
+		return nil, 0, fmt.Errorf("dataset drift: checkpoint graph %016x, loaded graph %016x", ck.GraphSig, s.graphSig)
+	}
+	if err := s.applyCheckpoint(ck); err != nil {
+		s.release()
+		return nil, 0, err
+	}
+	rounds, err := replay(s, recs[idx+1:])
+	if err != nil {
+		s.release()
+		return nil, 0, fmt.Errorf("suffix replay: %w", err)
 	}
 	return s, rounds, nil
 }
@@ -224,6 +290,11 @@ func replay(s *Session, recs []journal.Record) (rounds int, err error) {
 			if _, err := s.Observe(o.Activated); err != nil {
 				return rounds, fmt.Errorf("round %d observation: %w", o.Round, err)
 			}
+		case journal.TypeCheckpoint:
+			// Checkpoints are derived state, not transitions: a replay that
+			// reached this point has already reconstructed everything the
+			// snapshot holds, so it is skipped (and re-verified only by the
+			// digest chain in selectCheckpoint).
 		default:
 			return rounds, fmt.Errorf("unknown record type %s", rec.Type)
 		}

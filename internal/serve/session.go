@@ -113,6 +113,20 @@ type Session struct {
 	touched    time.Time // last client-visible call (Propose/Observe/manager lookup)
 	selectTime time.Duration
 
+	// Checkpointing (journaled sessions only). ckptEvery is the manager's
+	// interval in committed rounds (0 = off); compactOn arms log
+	// truncation past each written checkpoint. histDigest chains CRC32-C
+	// over every record payload appended to (or recovered from) the log —
+	// the position pin a checkpoint stores so loaders can tell it belongs
+	// to exactly this history. ckpts and lastCkptRound mirror the newest
+	// checkpoint for Status; graphSig pins the dataset's structure.
+	ckptEvery     int
+	compactOn     bool
+	graphSig      uint64
+	histDigest    uint32
+	ckpts         int
+	lastCkptRound int
+
 	// Passivation bookkeeping: how many times an idle sweep released this
 	// campaign's resources (carried across reactivations by the manager),
 	// and — on a passivated object — the status snapshot taken when the
@@ -239,6 +253,7 @@ func (s *Session) Propose() (Proposal, error) {
 		if err := s.jw.AppendFrame(frame); err != nil {
 			return Proposal{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
 		}
+		s.histDigest = journal.DigestFrame(s.histDigest, frame)
 	}
 	s.pending = append([]int32(nil), batch...)
 	s.phase = PhaseObserve
@@ -310,6 +325,7 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 		if err := s.jw.AppendFrame(frame); err != nil {
 			return Progress{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
 		}
+		s.histDigest = journal.DigestFrame(s.histDigest, frame)
 	}
 	before := s.activatedLocked()
 	niBefore := int64(len(s.inactive))
@@ -332,6 +348,18 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 	s.phase = PhasePropose
 	if s.activatedLocked() >= s.eta {
 		s.phase = PhaseDone
+	}
+	// Checkpoint on interval boundaries and at campaign completion: the
+	// observation above is already durable, so a skipped or failed
+	// checkpoint never loses a transition — it only costs replay time.
+	if s.jw != nil && s.ckptEvery > 0 && s.round > s.lastCkptRound &&
+		(s.round%s.ckptEvery == 0 || s.phase == PhaseDone) {
+		if err := s.maybeCheckpointLocked(); err != nil {
+			// Append/reopen failure: the session is poisoned (write-ahead
+			// contract), but the observation itself was committed — recovery
+			// resumes past it.
+			return Progress{}, err
+		}
 	}
 	return s.progressLocked(newly), nil
 }
@@ -380,6 +408,12 @@ type Status struct {
 	// session (carried across reactivations and reported even while the
 	// session is passivated; reset by a process restart).
 	Passivations int
+	// Checkpoints is the sequence number of the session's newest journal
+	// checkpoint (0 = none), and LastCheckpointRound the round it covers.
+	// Both are restored from the checkpoint itself on recovery, so they
+	// are stable across a restart.
+	Checkpoints         int
+	LastCheckpointRound int
 	// PoolBytes estimates the heap bytes held by the session's sampling
 	// pool (0 for passivated sessions — releasing that memory is what
 	// passivation is for). Manager.Metrics rolls the estimates up into a
@@ -411,23 +445,25 @@ func (s *Session) statusLocked() Status {
 		return st
 	}
 	st := Status{
-		ID:             s.id,
-		Dataset:        s.dataset,
-		SamplerVersion: s.samplerVer,
-		Policy:         s.policy.Name(),
-		Model:          s.model.String(),
-		N:              int64(s.g.N()),
-		Eta:            s.eta,
-		Phase:          s.phase.String(),
-		Round:          s.round,
-		Seeds:          len(s.seeds),
-		Activated:      s.activatedLocked(),
-		Done:           s.phase == PhaseDone,
-		Durable:        s.jw != nil,
-		Passivations:   s.passivations,
-		PoolBytes:      s.poolBytesLocked(),
-		IdleSeconds:    time.Since(s.touched).Seconds(),
-		SelectSeconds:  s.selectTime.Seconds(),
+		ID:                  s.id,
+		Dataset:             s.dataset,
+		SamplerVersion:      s.samplerVer,
+		Policy:              s.policy.Name(),
+		Model:               s.model.String(),
+		N:                   int64(s.g.N()),
+		Eta:                 s.eta,
+		Phase:               s.phase.String(),
+		Round:               s.round,
+		Seeds:               len(s.seeds),
+		Activated:           s.activatedLocked(),
+		Done:                s.phase == PhaseDone,
+		Durable:             s.jw != nil,
+		Passivations:        s.passivations,
+		Checkpoints:         s.ckpts,
+		LastCheckpointRound: s.lastCkptRound,
+		PoolBytes:           s.poolBytesLocked(),
+		IdleSeconds:         time.Since(s.touched).Seconds(),
+		SelectSeconds:       s.selectTime.Seconds(),
 	}
 	if s.pending != nil {
 		st.Pending = append([]int32(nil), s.pending...)

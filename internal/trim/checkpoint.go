@@ -1,0 +1,81 @@
+package trim
+
+import "fmt"
+
+// CheckpointState is the policy's cross-round continuation state — the
+// handful of scalars that, together with the session's residual graph and
+// RNG position, make the next SelectBatch byte-identical to the one an
+// uninterrupted policy would run. The mRR pool itself is deliberately NOT
+// part of the state: position-stable seeding (pool position j always
+// samples from SplitMix64(RunSeed+j)) makes the pool a pure function of
+// (RunSeed, residual, size), so a restored policy regenerates it on its
+// first round and converges to the identical pool the snapshot left
+// behind. That first round pays one full regeneration — bounded work —
+// in exchange for checkpoints that stay small on any graph.
+type CheckpointState struct {
+	// RunSeed is the run's pool seed (drawn once per run from the policy
+	// stream; see Policy.runSeed).
+	RunSeed uint64 `json:"run_seed"`
+	// LastRound / LastNi snapshot the previous SelectBatch, the policy's
+	// run-boundary and delta-validation anchors.
+	LastRound int   `json:"last_round"`
+	LastNi    int64 `json:"last_ni"`
+	// LastPool is the pool size the previous round certified with (the
+	// next round's warm-start target).
+	LastPool int64 `json:"last_pool"`
+	// Fallbacks is the consecutive full-regeneration strike count that
+	// degrades storage to counts-only at two.
+	Fallbacks int `json:"fallbacks,omitempty"`
+	// ReusePool records the policy's reuse mode, an environment pin: a
+	// snapshot taken under one mode must not restore into the other
+	// (batches would match — the contract makes reuse invisible — but the
+	// Fallbacks/counts-only bookkeeping would be meaningless).
+	ReusePool bool `json:"reuse_pool,omitempty"`
+}
+
+// ExportCheckpoint captures the policy's continuation state for a WAL
+// checkpoint. It reads only scalars; the pool is reconstructed on
+// restore (see CheckpointState).
+func (p *Policy) ExportCheckpoint() CheckpointState {
+	return CheckpointState{
+		RunSeed:   p.runSeed,
+		LastRound: p.lastRound,
+		LastNi:    p.lastNi,
+		LastPool:  p.lastPool,
+		Fallbacks: p.fallbacks,
+		ReusePool: p.cfg.ReusePool,
+	}
+}
+
+// RestoreCheckpoint rewinds a freshly built (never stepped) policy to a
+// previously exported continuation state. The policy's engine stays nil:
+// the first SelectBatch after a restore takes prepare's engine-creation
+// path, which regenerates the pool from RunSeed without disturbing the
+// fallback counters — exactly the state function an uninterrupted run
+// computes.
+func (p *Policy) RestoreCheckpoint(cs CheckpointState) error {
+	if p.engine != nil || p.lastRound != 0 {
+		return fmt.Errorf("trim: checkpoint restore on a policy that already ran (round %d)", p.lastRound)
+	}
+	if cs.ReusePool != p.cfg.ReusePool {
+		return fmt.Errorf("trim: checkpoint reuse mode %v does not match policy %v", cs.ReusePool, p.cfg.ReusePool)
+	}
+	if cs.LastRound < 0 || cs.LastNi < 0 || cs.LastPool < 0 || cs.Fallbacks < 0 {
+		return fmt.Errorf("trim: negative field in checkpoint state %+v", cs)
+	}
+	p.runSeed = cs.RunSeed
+	p.lastRound = cs.LastRound
+	p.lastNi = cs.LastNi
+	p.lastPool = cs.LastPool
+	p.fallbacks = cs.Fallbacks
+	return nil
+}
+
+// PoolFingerprint digests the policy's current mRR pool (0 before the
+// first round or after Close); see rrset.Collection.Fingerprint.
+func (p *Policy) PoolFingerprint() uint64 {
+	if p.coll == nil {
+		return 0
+	}
+	return p.coll.Fingerprint()
+}
