@@ -52,6 +52,18 @@
 // into restoring the snapshot plus replaying at most one interval's
 // worth of rounds, and compaction bounds each log's disk footprint the
 // same way. Checkpoints never change what a session proposes.
+//
+// Journal I/O failures are handled in layers (docs/OPERATIONS.md,
+// "Failure modes & degradation"): transient append/fsync errors are
+// retried with bounded exponential backoff inside the journal writer,
+// a disk-full failure first triggers an emergency log compaction, and
+// only a failure that survives both reaches the -durability policy —
+// fail-stop (close the session, record the cause) or degrade (keep
+// serving non-durably). A final failure also trips a journal-health
+// breaker that answers new durable creates with 503 + Retry-After for
+// -breaker-cooldown before re-probing. -fault-plan (or
+// $ASMSERVE_FAULT_PLAN) arms deterministic fault injection at the
+// journal I/O sites for chaos testing; never set it in production.
 package main
 
 import (
@@ -65,6 +77,7 @@ import (
 	"syscall"
 	"time"
 
+	"asti/internal/fault"
 	"asti/internal/graph"
 	"asti/internal/serve"
 )
@@ -79,15 +92,18 @@ func main() {
 		idleTTL     = flag.Duration("idle-ttl", 0, "passivate durable sessions idle for this long, releasing their memory until the next call reactivates them from the journal (0 = never; requires -journal-dir)")
 		ckptEvery   = flag.Int("checkpoint-every", serve.DefaultCheckpointEvery, "write a verified state checkpoint into each durable session's journal every K committed rounds, so recovery replays only the rounds after it (0 = checkpoints off, full replay)")
 		ckptCompact = flag.Bool("checkpoint-compact", true, "after each verified checkpoint, compact the session's journal down to [created][checkpoint][suffix], bounding its disk footprint by the checkpoint interval")
+		durability  = flag.String("durability", "fail-stop", "what a durable session does when its journal fails for good, after the writer's bounded retries and the disk-full emergency compaction: 'fail-stop' closes it with the cause recorded, 'degrade' keeps it serving non-durably (status reports durable=false plus the cause)")
+		breakerCool = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "after a final journal failure, reject new durable sessions with 503 for this long before re-probing the journal with the next create (0 = breaker off)")
+		faultPlan   = flag.String("fault-plan", os.Getenv("ASMSERVE_FAULT_PLAN"), "TESTING ONLY: activate a deterministic fault-injection plan against the journal I/O sites, e.g. 'journal/append-sync:after=2:times=1:err=io' (defaults to $ASMSERVE_FAULT_PLAN; empty = no faults, zero overhead)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir, *idleTTL, *ckptEvery, *ckptCompact); err != nil {
+	if err := run(*addr, *scale, *graphPath, *maxSessions, *journalDir, *idleTTL, *ckptEvery, *ckptCompact, *durability, *breakerCool, *faultPlan); err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string, idleTTL time.Duration, ckptEvery int, ckptCompact bool) error {
+func run(addr string, scale float64, graphPath string, maxSessions int, journalDir string, idleTTL time.Duration, ckptEvery int, ckptCompact bool, durability string, breakerCool time.Duration, faultPlan string) error {
 	reg := serve.NewSyntheticRegistry(scale)
 	if graphPath != "" {
 		if err := reg.RegisterLoader("custom", func() (*graph.Graph, error) {
@@ -107,6 +123,19 @@ func run(addr string, scale float64, graphPath string, maxSessions int, journalD
 		opts = append(opts, serve.WithIdleTTL(idleTTL))
 	}
 	opts = append(opts, serve.WithCheckpointEvery(ckptEvery), serve.WithCompaction(ckptCompact))
+	policy, err := serve.ParseDurabilityPolicy(durability)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, serve.WithDurabilityPolicy(policy), serve.WithBreakerCooldown(breakerCool))
+	if faultPlan != "" {
+		plan, err := fault.Parse(faultPlan)
+		if err != nil {
+			return fmt.Errorf("-fault-plan: %w", err)
+		}
+		fault.Activate(plan)
+		fmt.Fprintf(os.Stderr, "asmserve: FAULT INJECTION ACTIVE: %s\n", plan)
+	}
 	mgr := serve.NewManager(reg, maxSessions, opts...)
 	defer mgr.CloseAll()
 

@@ -10,10 +10,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"asti/internal/fault"
 	"asti/internal/gen"
 	"asti/internal/graph"
 	"asti/internal/serve"
@@ -573,5 +576,233 @@ func TestReactivationFailureIs500(t *testing.T) {
 	// Unknown ids are still the caller's 404.
 	if code := call(t, "GET", ts.URL+"/v1/sessions/s99", nil, &errBody); code != http.StatusNotFound {
 		t.Errorf("unknown id: code %d, want 404", code)
+	}
+}
+
+// doRaw issues one request and returns the raw response (body unread),
+// for tests that inspect headers or the exact JSON wire form.
+func doRaw(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestRetryAfterOnSessionLimit pins the 429 contract: a create rejected
+// by the session limit carries a Retry-After hint.
+func TestRetryAfterOnSessionLimit(t *testing.T) {
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 1)
+	ts := httptest.NewServer(newHandler(mgr, 0))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.05, Seed: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	resp := doRaw(t, "POST", ts.URL+"/v1/sessions", []byte(`{"dataset":"tiny","eta_frac":0.05,"seed":2}`))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit create: code %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(got); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer of seconds", got)
+	}
+}
+
+// TestBreakerRejectsCreatesWith503 drives the journal-health breaker
+// through the HTTP layer: an injected journal-create failure trips it,
+// the next create is rejected 503 with a Retry-After bounded by the
+// breaker cooldown, and /healthz + /metrics both report the open
+// breaker.
+func TestBreakerRejectsCreatesWith503(t *testing.T) {
+	dir := t.TempDir()
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const cooldown = 30 * time.Second
+	mgr := serve.NewManager(reg, 16,
+		serve.WithJournalDir(dir), serve.WithBreakerCooldown(cooldown))
+	ts := httptest.NewServer(newHandler(mgr, 0))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+
+	// One fault at the journal-create site (scoped to this test's dir;
+	// fault plans are process-global, so this test must not run in
+	// parallel with anything).
+	plan, err := fault.Parse("journal/create-open:times=1:err=io:path=" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(plan)
+	t.Cleanup(fault.Deactivate)
+
+	var errBody errorResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.05, Seed: 3}, &errBody); code/100 == 2 {
+		t.Fatalf("create with injected journal failure: code %d, want an error", code)
+	}
+
+	resp := doRaw(t, "POST", ts.URL+"/v1/sessions", []byte(`{"dataset":"tiny","eta_frac":0.05,"seed":4}`))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create behind open breaker: code %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("503 without Retry-After header")
+	} else if secs, err := strconv.Atoi(got); err != nil || secs < 1 || secs > int(cooldown.Seconds()) {
+		t.Errorf("Retry-After = %q, want 1..%d seconds", got, int(cooldown.Seconds()))
+	}
+
+	var health healthResponse
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: code %d", code)
+	}
+	if health.JournalHealthy {
+		t.Error("healthz reports journal_healthy=true with the breaker open")
+	}
+	metResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metResp.Body.Close()
+	text, err := io.ReadAll(metResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"asmserve_journal_breaker_open 1",
+		"asmserve_journal_breaker_trips_total 1",
+		"asmserve_fault_injections_total 1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestDegradedSessionOverHTTP pins the degrade policy's wire form: a
+// session whose journal dies keeps serving with durable=false and the
+// degraded fields set, while fault-free sessions serialize without the
+// degraded keys at all (the omitempty contract the CI restart diff
+// relies on).
+func TestDegradedSessionOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	reg := serve.NewRegistry()
+	if err := reg.RegisterLoader("tiny", func() (*graph.Graph, error) {
+		spec, err := gen.Dataset("synth-nethept")
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(0.05)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 16,
+		serve.WithJournalDir(dir), serve.WithDurabilityPolicy(serve.DegradeToNonDurable))
+	ts := httptest.NewServer(newHandler(mgr, 0))
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.CloseAll()
+	})
+
+	var st statusResponse
+	if code := call(t, "POST", ts.URL+"/v1/sessions",
+		createRequest{Dataset: "tiny", EtaFrac: 0.3, Seed: 8, Workers: 1}, &st); code != http.StatusCreated {
+		t.Fatalf("create: code %d", code)
+	}
+	base := ts.URL + "/v1/sessions/" + st.ID
+
+	// Fault-free wire form: no degraded keys at all.
+	resp := doRaw(t, "GET", base, nil)
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "degraded") || strings.Contains(string(raw), "last_failure") {
+		t.Errorf("healthy status leaks degraded keys: %s", raw)
+	}
+
+	// Kill the journal under the session: every append fails for good.
+	plan, err := fault.Parse("journal/append-write:times=0:err=io:path=" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(plan)
+	t.Cleanup(fault.Deactivate)
+
+	var batch batchResponse
+	if code := call(t, "POST", base+"/next", nil, &batch); code != 200 {
+		t.Fatalf("next with dead journal (degrade policy): code %d, want 200", code)
+	}
+	fault.Deactivate()
+
+	var after statusResponse
+	if code := call(t, "GET", base, nil, &after); code != 200 {
+		t.Fatalf("status: code %d", code)
+	}
+	if after.Durable || !after.Degraded || after.DegradeReason == "" || after.LastFailure == "" {
+		t.Errorf("degraded session status %+v, want durable=false degraded=true with reasons", after)
+	}
+	// The campaign keeps working non-durably.
+	var prog progressResponse
+	if code := call(t, "POST", base+"/observe", observeRequest{Activated: batch.Seeds}, &prog); code != 200 {
+		t.Fatalf("observe on degraded session: code %d", code)
+	}
+
+	var health healthResponse
+	if code := call(t, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: code %d", code)
+	}
+	if health.DegradedTotal != 1 {
+		t.Errorf("healthz degraded_total = %d, want 1", health.DegradedTotal)
+	}
+	metResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metResp.Body.Close()
+	text, err := io.ReadAll(metResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"asmserve_sessions_degraded 1",
+		"asmserve_sessions_degraded_total 1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
 	}
 }

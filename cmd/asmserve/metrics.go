@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"asti/internal/fault"
 )
 
 // stepBuckets are the latency histogram bucket bounds in seconds. One
@@ -120,6 +122,43 @@ func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP asmserve_checkpoint_restores_total Recoveries and reactivations that restored a checkpoint and replayed only the suffix, instead of the full history.")
 	fmt.Fprintln(w, "# TYPE asmserve_checkpoint_restores_total counter")
 	fmt.Fprintf(w, "asmserve_checkpoint_restores_total %d\n", mt.CheckpointRestores)
+	fmt.Fprintln(w, "# HELP asmserve_journal_retries_total Transient journal append/fsync failures absorbed by the writer's bounded retries.")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_retries_total counter")
+	fmt.Fprintf(w, "asmserve_journal_retries_total %d\n", mt.Journal.AppendRetries)
+	fmt.Fprintln(w, "# HELP asmserve_journal_append_failures_total Journal appends that failed for good (retry budget spent or non-retryable error class).")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_append_failures_total counter")
+	fmt.Fprintf(w, "asmserve_journal_append_failures_total %d\n", mt.Journal.AppendFailures)
+	fmt.Fprintln(w, "# HELP asmserve_journal_disk_full_total Journal append failures classified disk-full (each triggers an emergency compaction attempt).")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_disk_full_total counter")
+	fmt.Fprintf(w, "asmserve_journal_disk_full_total %d\n", mt.Journal.DiskFull)
+	fmt.Fprintln(w, "# HELP asmserve_journal_reopens_total Journal writer re-opens performed inside append retry loops.")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_reopens_total counter")
+	fmt.Fprintf(w, "asmserve_journal_reopens_total %d\n", mt.Journal.Reopens)
+	fmt.Fprintln(w, "# HELP asmserve_emergency_compactions_total On-demand journal compactions run in response to disk-full append failures.")
+	fmt.Fprintln(w, "# TYPE asmserve_emergency_compactions_total counter")
+	fmt.Fprintf(w, "asmserve_emergency_compactions_total %d\n", mt.EmergencyCompactions)
+	fmt.Fprintln(w, "# HELP asmserve_sessions_poisoned_total Sessions closed by a final journal failure under the fail-stop durability policy.")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_poisoned_total counter")
+	fmt.Fprintf(w, "asmserve_sessions_poisoned_total %d\n", mt.Poisoned)
+	fmt.Fprintln(w, "# HELP asmserve_sessions_degraded_total Sessions switched to non-durable serving by a final journal failure under the degrade policy.")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_degraded_total counter")
+	fmt.Fprintf(w, "asmserve_sessions_degraded_total %d\n", mt.Degraded)
+	fmt.Fprintln(w, "# HELP asmserve_sessions_degraded Open sessions currently serving non-durably (their logs are frozen at the last durable transition).")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_degraded gauge")
+	fmt.Fprintf(w, "asmserve_sessions_degraded %d\n", mt.DegradedNow)
+	breakerOpen := 0
+	if !mt.JournalHealthy {
+		breakerOpen = 1
+	}
+	fmt.Fprintln(w, "# HELP asmserve_journal_breaker_open 1 while the journal-health breaker is rejecting new durable sessions with 503.")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_breaker_open gauge")
+	fmt.Fprintf(w, "asmserve_journal_breaker_open %d\n", breakerOpen)
+	fmt.Fprintln(w, "# HELP asmserve_journal_breaker_trips_total Journal-health breaker closed-to-open transitions since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_journal_breaker_trips_total counter")
+	fmt.Fprintf(w, "asmserve_journal_breaker_trips_total %d\n", mt.BreakerTrips)
+	fmt.Fprintln(w, "# HELP asmserve_fault_injections_total Faults injected by the active fault plan (0 unless -fault-plan armed one).")
+	fmt.Fprintln(w, "# TYPE asmserve_fault_injections_total counter")
+	fmt.Fprintf(w, "asmserve_fault_injections_total %d\n", fault.Injections())
 	fmt.Fprintln(w, "# HELP asmserve_pool_bytes Estimated heap bytes held by live sessions' sampling pools.")
 	fmt.Fprintln(w, "# TYPE asmserve_pool_bytes gauge")
 	fmt.Fprintf(w, "asmserve_pool_bytes %d\n", mt.PoolBytes)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,6 +67,14 @@ type statusResponse struct {
 	// across restarts).
 	Checkpoints         int `json:"checkpoints"`
 	LastCheckpointRound int `json:"last_checkpoint_round"`
+	// Degraded marks a session serving non-durably after a final journal
+	// failure under the degrade policy, with the cause in DegradeReason;
+	// LastFailure records the newest journal failure either policy saw.
+	// All three are omitted while empty/false, so fault-free sessions
+	// serialize exactly as before (and identically across restarts).
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradeReason string `json:"degrade_reason,omitempty"`
+	LastFailure   string `json:"last_failure,omitempty"`
 }
 
 // healthResponse is the body of GET /healthz.
@@ -101,6 +110,21 @@ type healthResponse struct {
 	// CheckpointEvery is the configured checkpoint interval in rounds
 	// (0 = checkpoints off).
 	CheckpointEvery int `json:"checkpoint_every"`
+	// JournalHealthy is false while the journal-health breaker is open:
+	// session creation is answering 503 until a probe create succeeds.
+	// Always true on an unjournaled server.
+	JournalHealthy bool `json:"journal_healthy"`
+	// PoisonedTotal / DegradedTotal count sessions closed by a journal
+	// failure (fail-stop policy) and sessions switched to non-durable
+	// serving (degrade policy) since boot.
+	PoisonedTotal uint64 `json:"poisoned_total"`
+	DegradedTotal uint64 `json:"degraded_total"`
+	// JournalRetries counts transient journal append/fsync failures that
+	// were retried (and usually absorbed) inside the journal writer.
+	JournalRetries uint64 `json:"journal_retries"`
+	// DurabilityPolicy names the configured response to a final journal
+	// failure: "fail-stop" or "degrade".
+	DurabilityPolicy string `json:"durability_policy"`
 }
 
 // batchResponse is the body of POST /v1/sessions/{id}/next.
@@ -174,6 +198,11 @@ func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Compactions:        st.Compactions,
 		CheckpointRestores: st.CheckpointRestores,
 		CheckpointEvery:    sv.mgr.CheckpointEvery(),
+		JournalHealthy:     st.JournalHealthy,
+		PoisonedTotal:      st.Poisoned,
+		DegradedTotal:      st.Degraded,
+		JournalRetries:     st.Journal.AppendRetries,
+		DurabilityPolicy:   sv.mgr.DurabilityPolicy().String(),
 	})
 }
 
@@ -201,7 +230,9 @@ func (sv *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Seed:             req.Seed,
 	})
 	if err != nil {
-		writeError(w, createStatus(err), err)
+		status := createStatus(err)
+		sv.setRetryAfter(w, status, err)
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, toStatusResponse(s.Status()))
@@ -245,7 +276,9 @@ func (sv *server) handleNext(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if err != nil {
-			writeError(w, stepStatus(err), err)
+			status := stepStatus(err)
+			sv.setRetryAfter(w, status, err)
+			writeError(w, status, err)
 			return
 		}
 		sv.nextLat.observe(time.Since(t0))
@@ -273,7 +306,9 @@ func (sv *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if err != nil {
-			writeError(w, stepStatus(err), err)
+			status := stepStatus(err)
+			sv.setRetryAfter(w, status, err)
+			writeError(w, status, err)
 			return
 		}
 		sv.observeLat.observe(time.Since(t0))
@@ -353,17 +388,44 @@ func lookupStatus(err error) int {
 
 // createStatus maps session-creation errors to HTTP statuses: unknown
 // dataset names are the caller's mistake (404), loader failures are
-// server-side (500), everything else is a bad request.
+// server-side (500), an open journal-health breaker is a transient 503
+// (the journal is failing; the breaker re-probes after its cooldown),
+// everything else is a bad request.
 func createStatus(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrTooManySessions):
 		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrJournalUnhealthy):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrUnknownDataset):
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrDatasetLoad):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
+	}
+}
+
+// setRetryAfter stamps a Retry-After hint (in seconds) on retryable
+// rejections, so well-behaved clients back off instead of hammering:
+//   - breaker-open 503s advertise the time until the breaker re-probes
+//     (rounded up, floor 1s);
+//   - 429 (session limit) advertises a flat 5s — capacity frees when
+//     some client closes a session, which we cannot predict;
+//   - any other 503 (a passivation race lost twice) advertises 1s — the
+//     next attempt's journal replay almost always wins.
+func (sv *server) setRetryAfter(w http.ResponseWriter, status int, err error) {
+	switch {
+	case errors.Is(err, serve.ErrJournalUnhealthy):
+		secs := int(sv.mgr.BreakerRetryAfter().Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case status == http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "5")
+	case status == http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
 	}
 }
 
@@ -410,6 +472,9 @@ func toStatusResponse(st serve.Status) statusResponse {
 		SelectSeconds:       st.SelectSeconds,
 		Checkpoints:         st.Checkpoints,
 		LastCheckpointRound: st.LastCheckpointRound,
+		Degraded:            st.Degraded,
+		DegradeReason:       st.DegradeReason,
+		LastFailure:         st.LastFailure,
 	}
 }
 

@@ -1,0 +1,391 @@
+// Package fault is a lightweight failpoint framework for injecting disk
+// misbehavior into the serving tier's I/O edges, deterministically and
+// from tests or a command-line flag.
+//
+// Production code declares named injection Sites at its I/O edges and
+// consults them before each real operation:
+//
+//	if inj := fault.Check(journal.SiteAppendSync, path); inj != nil {
+//	    inj.Sleep()
+//	    if inj.Err != nil {
+//	        return inj.Err
+//	    }
+//	}
+//	return f.Sync()
+//
+// With no Plan active — the production steady state — Check is one
+// atomic pointer load and one predictable branch; no allocation, no map
+// lookup, no lock. Sites therefore stay compiled in permanently, which
+// is the point: the exact binary that serves traffic is the one the
+// chaos harness proved out.
+//
+// A Plan is a deterministic fault schedule: an ordered list of rules,
+// each matching one site (optionally filtered by a path substring, so
+// concurrent tests cannot poison each other's journals) and describing
+// when to fire (skip the first `after` matching hits, then every
+// `every`-th hit or with seeded probability `p`, at most `times` times)
+// and what to inject (an errno-classified error, a delay, a partial
+// write). Given the same sequence of site hits, a plan injects at
+// exactly the same points — the property the chaos harness's
+// byte-identity assertions rest on.
+//
+// Plans can be built programmatically (tests) or parsed from a compact
+// spec string (the asmserve -fault-plan flag / ASMSERVE_FAULT_PLAN
+// environment variable):
+//
+//	journal/append-sync:after=2:times=3:err=io;journal/append-write:after=12:err=enospc
+//
+// See Parse for the full grammar.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Site names one injection point. Sites are declared by the package that
+// owns the I/O edge (see internal/journal) and addressed by plans via
+// their string value.
+type Site string
+
+// Injection is one fault to apply at a site, interpreted by the
+// injection point: sleep Delay first, then — if PartialFrac ≥ 0 — write
+// only that fraction of the buffer (a torn write that really hits disk),
+// then fail with Err (nil = delay-only injection, the real operation
+// proceeds).
+type Injection struct {
+	// Err is the error to return from the operation (wrapping a real
+	// errno, so error-classification code paths see exactly what a real
+	// kernel failure would produce). nil injects no failure.
+	Err error
+	// Delay is slept before the operation (Sleep is the helper).
+	Delay time.Duration
+	// PartialFrac, when in [0,1], instructs write edges to perform a real
+	// write of only ⌊frac·len⌋ bytes before failing with Err — a torn
+	// write. Negative means no partial write.
+	PartialFrac float64
+}
+
+// Sleep applies the injection's delay, if any.
+func (inj *Injection) Sleep() {
+	if inj.Delay > 0 {
+		time.Sleep(inj.Delay)
+	}
+}
+
+// PartialLen returns how many of n bytes a torn-write injection lets
+// through, and whether a partial write was requested at all.
+func (inj *Injection) PartialLen(n int) (int, bool) {
+	if inj.PartialFrac < 0 {
+		return n, false
+	}
+	k := int(inj.PartialFrac * float64(n))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k, true
+}
+
+// Rule schedules injections at one site. The zero value of the
+// scheduling fields means: fire on every hit, forever, starting at the
+// first. Counters inside are owned by the plan; a Rule must not be
+// reused across plans.
+type Rule struct {
+	// Site is the injection point this rule arms.
+	Site Site
+	// Path, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring (scopes a plan to one journal dir).
+	Path string
+	// After skips the first After matching hits before the schedule
+	// starts counting.
+	After uint64
+	// Times caps how many injections the rule performs (0 = unlimited).
+	Times uint64
+	// Every fires on every Every-th eligible hit (0 or 1 = every hit).
+	Every uint64
+	// Prob, when > 0, fires with this probability, decided by a
+	// SplitMix64 draw over (Seed, hit index) — deterministic for a given
+	// hit sequence.
+	Prob float64
+	// Seed seeds the Prob draws.
+	Seed uint64
+	// Err is the error to inject (see Errno for the named kinds). nil
+	// with a Delay makes a delay-only rule.
+	Err error
+	// Delay is slept at the site before the operation proceeds or fails.
+	Delay time.Duration
+	// PartialFrac ∈ [0,1] arms a torn write (see Injection); negative
+	// (the natural zero for "unset" is enforced by NewPlan) disables it.
+	PartialFrac float64
+
+	hits     atomic.Uint64
+	injected atomic.Uint64
+}
+
+// Plan is an active fault schedule over a set of rules. Safe for
+// concurrent use; counters are atomic.
+type Plan struct {
+	rules []*Rule
+	total atomic.Uint64
+}
+
+// NewPlan builds a plan from rules. Rules with a zero PartialFrac and no
+// explicit torn-write intent should set PartialFrac negative; as a
+// convenience, a rule with PartialFrac == 0 and Err == nil and
+// Delay == 0 is rejected (it would inject nothing).
+func NewPlan(rules ...*Rule) (*Plan, error) {
+	for _, r := range rules {
+		if r.Site == "" {
+			return nil, fmt.Errorf("fault: rule with empty site")
+		}
+		if r.Err == nil && r.Delay == 0 && r.PartialFrac < 0 {
+			return nil, fmt.Errorf("fault: rule for %s injects nothing (no err, delay, or partial write)", r.Site)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("fault: rule for %s: probability %v outside [0,1]", r.Site, r.Prob)
+		}
+	}
+	return &Plan{rules: rules}, nil
+}
+
+// check evaluates the plan at one site hit; nil means no injection.
+func (p *Plan) check(site Site, path string) *Injection {
+	for _, r := range p.rules {
+		if r.Site != site {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		h := r.hits.Add(1)
+		if h <= r.After {
+			continue
+		}
+		k := h - r.After
+		if r.Every > 1 && (k-1)%r.Every != 0 {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && splitmix64(r.Seed^h)>>11 >= uint64(r.Prob*(1<<53)) {
+			continue
+		}
+		if r.Times > 0 && r.injected.Add(1) > r.Times {
+			continue
+		}
+		if r.Times == 0 {
+			r.injected.Add(1)
+		}
+		p.total.Add(1)
+		return &Injection{Err: r.Err, Delay: r.Delay, PartialFrac: r.PartialFrac}
+	}
+	return nil
+}
+
+// Injections returns how many faults the plan has injected in total.
+func (p *Plan) Injections() uint64 { return p.total.Load() }
+
+// Counters returns the per-site injection counts.
+func (p *Plan) Counters() map[Site]uint64 {
+	out := map[Site]uint64{}
+	for _, r := range p.rules {
+		n := r.injected.Load()
+		if r.Times > 0 && n > r.Times {
+			n = r.Times
+		}
+		out[r.Site] += n
+	}
+	return out
+}
+
+// active is the process-wide fault plan; nil (the default and the
+// production steady state) makes every Check a single branch.
+var active atomic.Pointer[Plan]
+
+// Activate installs the plan at every site, replacing any previous one.
+// Passing nil is Deactivate.
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate removes the active plan; sites return to their one-branch
+// fast path.
+func Deactivate() { active.Store(nil) }
+
+// Active returns the installed plan (nil if faults are off).
+func Active() *Plan { return active.Load() }
+
+// Enabled reports whether a fault plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Check consults the active plan at a site hit; path is the file or
+// directory the operation targets (rules may filter on it). It returns
+// nil — after exactly one pointer load and one branch — when no plan is
+// active.
+func Check(site Site, path string) *Injection {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.check(site, path)
+}
+
+// Injections returns the active plan's total injection count (0 when no
+// plan is active).
+func Injections() uint64 {
+	if p := active.Load(); p != nil {
+		return p.total.Load()
+	}
+	return 0
+}
+
+// Counters returns the active plan's per-site injection counts (nil when
+// no plan is active).
+func Counters() map[Site]uint64 {
+	if p := active.Load(); p != nil {
+		return p.Counters()
+	}
+	return nil
+}
+
+// Errno maps a spec error kind to the errno-wrapping error a rule
+// injects. The kinds cover the failure classes the journal layer
+// distinguishes: "io" (EIO, transient under retry), "eintr"/"eagain"
+// (transient), "enospc"/"edquot" (disk full), "erofs"/"eacces"/
+// "enoent"/"ebadf" (permanent).
+func Errno(kind string) (error, error) {
+	var errno syscall.Errno
+	switch strings.ToLower(kind) {
+	case "io", "eio":
+		errno = syscall.EIO
+	case "eintr":
+		errno = syscall.EINTR
+	case "eagain":
+		errno = syscall.EAGAIN
+	case "enospc", "full":
+		errno = syscall.ENOSPC
+	case "edquot":
+		errno = syscall.EDQUOT
+	case "erofs", "readonly":
+		errno = syscall.EROFS
+	case "eacces":
+		errno = syscall.EACCES
+	case "enoent":
+		errno = syscall.ENOENT
+	case "ebadf":
+		errno = syscall.EBADF
+	default:
+		return nil, fmt.Errorf("fault: unknown error kind %q", kind)
+	}
+	return fmt.Errorf("fault: injected %s: %w", strings.ToLower(kind), errno), nil
+}
+
+// Parse builds a plan from a compact spec string:
+//
+//	plan := rule (";" rule)*
+//	rule := site (":" opt)*
+//	opt  := "err="KIND | "after="N | "times="N | "every="N
+//	      | "p="FLOAT | "seed="N | "delay="DURATION | "partial="FRAC
+//	      | "path="SUBSTR
+//
+// KIND is an Errno kind ("io", "enospc", "erofs", ...). A rule with no
+// err/delay/partial option defaults to err=io; a rule with none of
+// times/every/p fires exactly once (times=1). Example:
+//
+//	journal/append-sync:after=2:times=3:err=io;journal/compact-rename:err=enospc
+func Parse(spec string) (*Plan, error) {
+	var rules []*Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		opts := strings.Split(part, ":")
+		r := &Rule{Site: Site(strings.TrimSpace(opts[0])), PartialFrac: -1}
+		var haveSchedule, haveEffect bool
+		for _, opt := range opts[1:] {
+			key, val, found := strings.Cut(strings.TrimSpace(opt), "=")
+			if !found {
+				return nil, fmt.Errorf("fault: rule %q: option %q is not key=value", part, opt)
+			}
+			var err error
+			switch key {
+			case "err":
+				r.Err, err = Errno(val)
+				haveEffect = true
+			case "after":
+				r.After, err = strconv.ParseUint(val, 10, 64)
+			case "times":
+				r.Times, err = strconv.ParseUint(val, 10, 64)
+				haveSchedule = true
+			case "every":
+				r.Every, err = strconv.ParseUint(val, 10, 64)
+				haveSchedule = true
+			case "p":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				haveSchedule = true
+			case "seed":
+				r.Seed, err = strconv.ParseUint(val, 10, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+				haveEffect = true
+			case "partial":
+				r.PartialFrac, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.PartialFrac < 0 || r.PartialFrac > 1) {
+					err = fmt.Errorf("fraction %v outside [0,1]", r.PartialFrac)
+				}
+				haveEffect = true
+			case "path":
+				r.Path = val
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown option %q", part, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: option %q: %v", part, opt, err)
+			}
+		}
+		if !haveEffect {
+			r.Err, _ = Errno("io")
+		}
+		if !haveSchedule {
+			r.Times = 1
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan spec")
+	}
+	return NewPlan(rules...)
+}
+
+// String renders the per-site injection counters, sorted by site — a
+// debugging and logging convenience.
+func (p *Plan) String() string {
+	counts := p.Counters()
+	sites := make([]string, 0, len(counts))
+	for s := range counts {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", s, counts[Site(s)])
+	}
+	return b.String()
+}
+
+// splitmix64 is the repo-standard seeded mixer (see internal/rng),
+// duplicated here so the fault layer depends on nothing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCheckDisabledFastPath pins the production contract: with no plan
+// active, Check returns nil and touches nothing.
+func TestCheckDisabledFastPath(t *testing.T) {
+	Deactivate()
+	if Enabled() {
+		t.Fatal("Enabled() with no plan active")
+	}
+	if inj := Check("journal/append-write", "/tmp/x.wal"); inj != nil {
+		t.Fatalf("Check injected %+v with no plan active", inj)
+	}
+	if Injections() != 0 || Counters() != nil {
+		t.Fatal("counters non-zero with no plan active")
+	}
+}
+
+// TestScheduleDeterminism drives the same hit sequence twice and
+// requires byte-identical injection decisions, including the
+// probabilistic rule (seeded draws over the hit index).
+func TestScheduleDeterminism(t *testing.T) {
+	run := func() []bool {
+		p, err := Parse("s:after=2:every=3:times=4:err=io;q:p=0.5:seed=42:err=enospc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Activate(p)
+		defer Deactivate()
+		var got []bool
+		for i := 0; i < 30; i++ {
+			got = append(got, p.check("s", "") != nil)
+		}
+		for i := 0; i < 30; i++ {
+			got = append(got, p.check("q", "") != nil)
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical runs", i)
+		}
+	}
+	// The deterministic rule's shape: skip 2, then every 3rd, 4 times.
+	want := map[int]bool{2: true, 5: true, 8: true, 11: true}
+	for i := 0; i < 30; i++ {
+		if a[i] != want[i] {
+			t.Fatalf("site s hit %d: injected=%v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+// TestRuleOptions covers after/times caps, path filtering, and the
+// errno wrapping that classification code relies on.
+func TestRuleOptions(t *testing.T) {
+	p, err := Parse("w:times=2:err=enospc:path=mine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(p)
+	defer Deactivate()
+	if inj := Check("w", "/tmp/other/x.wal"); inj != nil {
+		t.Fatal("path filter did not exclude a foreign path")
+	}
+	for i := 0; i < 2; i++ {
+		inj := Check("w", "/tmp/mine/x.wal")
+		if inj == nil {
+			t.Fatalf("injection %d missing", i)
+		}
+		if !errors.Is(inj.Err, syscall.ENOSPC) {
+			t.Fatalf("injected error %v does not wrap ENOSPC", inj.Err)
+		}
+	}
+	if inj := Check("w", "/tmp/mine/x.wal"); inj != nil {
+		t.Fatal("times=2 exceeded")
+	}
+	if got := p.Injections(); got != 2 {
+		t.Fatalf("Injections() = %d, want 2", got)
+	}
+	if got := p.Counters()["w"]; got != 2 {
+		t.Fatalf("Counters()[w] = %d, want 2", got)
+	}
+}
+
+// TestParseErrors rejects malformed specs instead of silently arming a
+// wrong plan.
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", ";;", "s:err=bogus", "s:after", "s:after=x", "s:unknown=1",
+		"s:partial=1.5", "s:p=2:err=io", ":err=io",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// TestParseDefaults: a bare rule fires once with a transient I/O error.
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.check("s", "")
+	if inj == nil || !errors.Is(inj.Err, syscall.EIO) {
+		t.Fatalf("default injection = %+v, want one EIO", inj)
+	}
+	if p.check("s", "") != nil {
+		t.Fatal("default rule fired twice")
+	}
+}
+
+// TestPartialAndDelay covers the torn-write and delay-only effects.
+func TestPartialAndDelay(t *testing.T) {
+	p, err := Parse("s:partial=0.5:err=io;d:delay=1ms:times=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.check("s", "")
+	if inj == nil {
+		t.Fatal("no injection")
+	}
+	if k, ok := inj.PartialLen(100); !ok || k != 50 {
+		t.Fatalf("PartialLen(100) = %d,%v want 50,true", k, ok)
+	}
+	d := p.check("d", "")
+	if d == nil || d.Err != nil || d.Delay != time.Millisecond {
+		t.Fatalf("delay injection = %+v", d)
+	}
+	if k, ok := d.PartialLen(10); ok || k != 10 {
+		t.Fatalf("delay-only PartialLen = %d,%v want 10,false", k, ok)
+	}
+	start := time.Now()
+	d.Sleep()
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+}
+
+// TestConcurrentCheck exercises the atomic counters under the race
+// detector: total injections must equal the times cap even when many
+// goroutines race the same rule.
+func TestConcurrentCheck(t *testing.T) {
+	p, err := Parse("s:times=100:err=io")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	for g := 0; g < 8; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if p.check("s", "") != nil {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 100 {
+		t.Fatalf("injected %d times, want exactly 100", total)
+	}
+}
+
+// BenchmarkCheckDisabled measures the production cost of a compiled-in
+// site with no plan active: the acceptance bar is one atomic load and
+// one predictable branch, i.e. sub-nanosecond per call.
+func BenchmarkCheckDisabled(b *testing.B) {
+	Deactivate()
+	for i := 0; i < b.N; i++ {
+		if Check("journal/append-write", "bench.wal") != nil {
+			b.Fatal("unexpected injection")
+		}
+	}
+}
+
+// BenchmarkCheckEnabledMiss measures a site the active plan does not
+// match — the cost faults at *other* sites impose on this one.
+func BenchmarkCheckEnabledMiss(b *testing.B) {
+	p, err := Parse("some/other-site:times=0:delay=0s:err=io")
+	if err != nil {
+		b.Fatal(err)
+	}
+	Activate(p)
+	defer Deactivate()
+	for i := 0; i < b.N; i++ {
+		if Check("journal/append-write", "bench.wal") != nil {
+			b.Fatal("unexpected injection")
+		}
+	}
+}

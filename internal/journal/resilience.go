@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"asti/internal/fault"
+)
+
+// The journal's fault-injection sites: one per I/O edge, consulted via
+// fault.Check before the real syscall. With no fault plan active each
+// site costs one atomic load and one branch (see internal/fault); the
+// chaos harness in internal/serve drives campaigns with faults injected
+// at every one of these.
+const (
+	// SiteCreateOpen is the O_EXCL open of a fresh session log.
+	SiteCreateOpen fault.Site = "journal/create-open"
+	// SiteSyncDir is the directory fsync after create/remove/compact.
+	SiteSyncDir fault.Site = "journal/sync-dir"
+	// SiteAppendWrite is the frame write of a regular record append.
+	SiteAppendWrite fault.Site = "journal/append-write"
+	// SiteAppendSync is the fsync that commits a regular record.
+	SiteAppendSync fault.Site = "journal/append-sync"
+	// SiteCheckpointWrite / SiteCheckpointSync are the same two edges for
+	// checkpoint records (addressable separately so a plan can fail
+	// checkpoints without touching the transition stream).
+	SiteCheckpointWrite fault.Site = "journal/checkpoint-write"
+	SiteCheckpointSync  fault.Site = "journal/checkpoint-sync"
+	// SiteReopen is every writer (re)open of an existing log: Resume at
+	// boot/reactivation, and the reopen inside an append retry.
+	SiteReopen fault.Site = "journal/reopen"
+	// SiteLoadRead is the whole-file read feeding recovery, reactivation
+	// and compaction.
+	SiteLoadRead fault.Site = "journal/load-read"
+	// SiteCompactWrite / SiteCompactSync / SiteCompactRename are the
+	// temp-file write, fsync and atomic rename of a log compaction.
+	SiteCompactWrite  fault.Site = "journal/compact-write"
+	SiteCompactSync   fault.Site = "journal/compact-sync"
+	SiteCompactRename fault.Site = "journal/compact-rename"
+)
+
+// Class buckets an I/O error by how the commit path should react.
+type Class int
+
+const (
+	// ClassTransient errors (EIO, EINTR, EAGAIN, timeouts, anything
+	// unrecognized) may clear on their own: the writer retries them with
+	// bounded exponential backoff before giving up. EIO is deliberately
+	// in this bucket — on shared/network storage it is as often a blip as
+	// a dead disk, and a persistent EIO converges to permanent anyway
+	// once the retry budget is spent.
+	ClassTransient Class = iota
+	// ClassDiskFull (ENOSPC, EDQUOT) will not clear by waiting: the
+	// writer fails fast and the serve layer attempts emergency journal
+	// compaction to free space before giving up.
+	ClassDiskFull
+	// ClassPermanent (EROFS, EACCES, EPERM, ENOENT, EBADF, ENODEV, ENXIO)
+	// means retrying the same operation cannot succeed: the writer gives
+	// up immediately and the durability policy decides the session's fate.
+	ClassPermanent
+)
+
+// String names the class for logs and error messages.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassDiskFull:
+		return "disk-full"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify buckets err (by its wrapped errno, so both real kernel
+// failures and injected faults classify identically). Unrecognized
+// errors default to transient: a bounded retry of a genuinely permanent
+// failure costs milliseconds, while fail-stopping a retryable one costs
+// the campaign.
+func Classify(err error) Class {
+	for _, e := range []syscall.Errno{syscall.ENOSPC, syscall.EDQUOT} {
+		if errors.Is(err, e) {
+			return ClassDiskFull
+		}
+	}
+	for _, e := range []syscall.Errno{
+		syscall.EROFS, syscall.EACCES, syscall.EPERM, syscall.ENOENT,
+		syscall.EBADF, syscall.ENODEV, syscall.ENXIO,
+	} {
+		if errors.Is(err, e) {
+			return ClassPermanent
+		}
+	}
+	return ClassTransient
+}
+
+// RetryPolicy bounds the writer's transient-failure retry loop: up to
+// MaxRetries re-attempts after the first failure, sleeping
+// Base·2^attempt (capped at Max) with full jitter between attempts.
+// Only transient-class errors are retried; disk-full and permanent
+// failures return to the caller immediately.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the initial failure
+	// (0 = fail on first error, the pre-resilience behavior).
+	MaxRetries int
+	// Base is the first backoff step; each retry doubles it.
+	Base time.Duration
+	// Max caps a single backoff sleep.
+	Max time.Duration
+}
+
+// DefaultRetryPolicy is the envelope stores open with: 4 retries over
+// ~2+4+8+16 ≈ 30ms worst case before jitter — long enough to ride out
+// an fsync blip, short enough that a client's step call does not time
+// out waiting on a dead disk.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 4, Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+
+// backoff returns the jittered sleep before retry attempt (1-based):
+// a uniform draw from (0, min(Base·2^(attempt-1), Max)] — full jitter,
+// so concurrent writers hitting the same sick disk do not stampede it
+// in lockstep.
+func (rp RetryPolicy) backoff(attempt int) time.Duration {
+	d := rp.Base << (attempt - 1)
+	if d > rp.Max || d <= 0 {
+		d = rp.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithRetryPolicy overrides the store's append retry envelope (writers
+// inherit it at Create/Resume). A zero-value policy disables retries.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(st *Store) { st.retry = rp }
+}
+
+// StoreMetrics is a point-in-time snapshot of a store's I/O resilience
+// counters, aggregated across all its writers.
+type StoreMetrics struct {
+	// AppendRetries counts transient append/fsync failures that were
+	// retried (whether or not the retry eventually succeeded).
+	AppendRetries uint64
+	// AppendFailures counts appends that failed for good — the retry
+	// budget was spent or the error class forbade retrying. Each of these
+	// surfaced to the serve layer as a broken commit.
+	AppendFailures uint64
+	// DiskFull counts append failures classified disk-full (the subset of
+	// AppendFailures that triggers emergency compaction upstream).
+	DiskFull uint64
+	// Reopens counts writer re-opens performed inside retry loops.
+	Reopens uint64
+}
+
+// storeMetrics is the live atomic form, shared by a store's writers.
+type storeMetrics struct {
+	retries  atomic.Uint64
+	failures atomic.Uint64
+	diskFull atomic.Uint64
+	reopens  atomic.Uint64
+}
+
+// snapshot flattens the counters.
+func (m *storeMetrics) snapshot() StoreMetrics {
+	return StoreMetrics{
+		AppendRetries:  m.retries.Load(),
+		AppendFailures: m.failures.Load(),
+		DiskFull:       m.diskFull.Load(),
+		Reopens:        m.reopens.Load(),
+	}
+}
+
+// Metrics returns the store's resilience counters.
+func (st *Store) Metrics() StoreMetrics { return st.metrics.snapshot() }

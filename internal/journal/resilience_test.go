@@ -1,0 +1,338 @@
+package journal_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"asti/internal/fault"
+	"asti/internal/journal"
+)
+
+// Fault plans are process-global, so none of the tests in this file may
+// run in parallel; each additionally path-filters its plan to its own
+// temp dir so a stray concurrent Check cannot cross-poison.
+
+// activate parses and arms a fault plan scoped to dir, and disarms it
+// when the test ends.
+func activate(t *testing.T, dir, spec string) *fault.Plan {
+	t.Helper()
+	rules := strings.Split(spec, ";")
+	for i, r := range rules {
+		rules[i] = r + ":path=" + dir
+	}
+	p, err := fault.Parse(strings.Join(rules, ";"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Activate(p)
+	t.Cleanup(fault.Deactivate)
+	return p
+}
+
+// fastRetry keeps test backoff sleeps negligible.
+var fastRetry = journal.RetryPolicy{MaxRetries: 4, Base: 50 * time.Microsecond, Max: 200 * time.Microsecond}
+
+// TestAppendRetriesTransientFsync pins the headline behavior: a single
+// transient fsync failure is absorbed by the writer — the append
+// succeeds, the retry counters tick, and the log is intact.
+func TestAppendRetriesTransientFsync(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-sync:times=1:err=io")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "d"}); err != nil {
+		t.Fatalf("append with one injected fsync failure: %v", err)
+	}
+	if err := w.Append(journal.TypeProposed, journal.Proposed{Round: 1, Seeds: []int32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	m := st.Metrics()
+	if m.AppendRetries != 1 || m.Reopens != 1 || m.AppendFailures != 0 {
+		t.Fatalf("metrics = %+v, want 1 retry, 1 reopen, 0 failures", m)
+	}
+	recs, tailErr, err := st.Load("s1")
+	if err != nil || tailErr != nil {
+		t.Fatalf("Load: %v / tail %v", err, tailErr)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}
+
+// TestAppendTornWriteRepairedOnRetry injects a failed write that leaves
+// half the frame on disk: the retry must truncate the torn prefix away
+// and commit a clean frame.
+func TestAppendTornWriteRepairedOnRetry(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-write:times=1:err=io:partial=0.5")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.TypeProposed, journal.Proposed{Round: 1, Seeds: []int32{7}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, tailErr, err := st.Load("s1")
+	if err != nil || tailErr != nil {
+		t.Fatalf("Load after torn-write repair: %v / tail %v", err, tailErr)
+	}
+	if len(recs) != 2 || recs[1].Type != journal.TypeProposed {
+		t.Fatalf("records after repair: %d", len(recs))
+	}
+}
+
+// TestAppendDiskFullFailsFast: ENOSPC is not retried — it surfaces
+// immediately (the serve layer owns the emergency-compaction response)
+// and the on-disk log still ends on the last committed frame.
+func TestAppendDiskFullFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-write:times=1:err=enospc:partial=0.3")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Append(journal.TypeCreated, journal.Created{Dataset: "d"})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append = %v, want ENOSPC", err)
+	}
+	if got := journal.Classify(err); got != journal.ClassDiskFull {
+		t.Fatalf("Classify = %v, want disk-full", got)
+	}
+	m := st.Metrics()
+	if m.AppendRetries != 0 || m.AppendFailures != 1 || m.DiskFull != 1 {
+		t.Fatalf("metrics = %+v, want no retries, 1 failure, 1 disk-full", m)
+	}
+	// The torn 30% prefix must have been truncated away...
+	recs, tailErr, err := st.Load("s1")
+	if err != nil || tailErr != nil || len(recs) != 0 {
+		t.Fatalf("log after failed first append: %d recs, tail %v, err %v", len(recs), tailErr, err)
+	}
+	// ...and the same writer must be reusable once space returns.
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "d"}); err != nil {
+		t.Fatalf("append after disk-full cleared: %v", err)
+	}
+	recs, tailErr, err = st.Load("s1")
+	if err != nil || tailErr != nil || len(recs) != 1 {
+		t.Fatalf("log after recovery append: %d recs, tail %v, err %v", len(recs), tailErr, err)
+	}
+}
+
+// TestAppendPermanentFailsFast: permanent-class errors skip the retry
+// loop entirely.
+func TestAppendPermanentFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-sync:times=1:err=erofs")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Append(journal.TypeCreated, journal.Created{Dataset: "d"})
+	if !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("append = %v, want EROFS", err)
+	}
+	m := st.Metrics()
+	if m.AppendRetries != 0 || m.AppendFailures != 1 {
+		t.Fatalf("metrics = %+v, want 0 retries, 1 failure", m)
+	}
+}
+
+// TestRetryExhaustion: a fault outlasting the retry budget surfaces the
+// last error with every retry accounted for.
+func TestRetryExhaustion(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-sync:times=10:err=io")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(journal.RetryPolicy{MaxRetries: 2, Base: 50 * time.Microsecond, Max: 100 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Append(journal.TypeCreated, journal.Created{Dataset: "d"})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append = %v, want EIO after exhaustion", err)
+	}
+	m := st.Metrics()
+	if m.AppendRetries != 2 || m.AppendFailures != 1 {
+		t.Fatalf("metrics = %+v, want 2 retries then 1 failure", m)
+	}
+}
+
+// TestCreateSyncDirFailureCleansUp: when the post-create directory fsync
+// fails, Create must report the failure and not leave an orphan log that
+// a later Create of the same id would trip over.
+func TestCreateSyncDirFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/sync-dir:times=1:err=io")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("s1"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Create = %v, want EIO", err)
+	}
+	if _, err := os.Stat(dir + "/s1.wal"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan log left behind: stat err %v", err)
+	}
+	// The id must be creatable once the directory recovers.
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatalf("Create after recovery: %v", err)
+	}
+	w.Close()
+}
+
+// TestCompactFailureLeavesLogIntact: a failed compaction (fsync of the
+// temp file) must remove its temp file and leave the original log
+// byte-identical.
+func TestCompactFailureLeavesLogIntact(t *testing.T) {
+	dir := t.TempDir()
+	st, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 3; r++ {
+		if err := w.Append(journal.TypeProposed, journal.Proposed{Round: r, Seeds: []int32{int32(r)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Append(journal.TypeCheckpoint, journal.Checkpoint{Round: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(dir + "/s1.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	activate(t, dir, "journal/compact-sync:times=1:err=io")
+	if _, err := st.Compact("s1"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Compact = %v, want EIO", err)
+	}
+	after, err := os.ReadFile(dir + "/s1.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed compaction changed the log")
+	}
+	if _, err := os.Stat(dir + "/s1.wal.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: stat err %v", err)
+	}
+	// With the fault spent, the same compaction must now succeed.
+	removed, err := st.Compact("s1")
+	if err != nil || removed <= 0 {
+		t.Fatalf("Compact after fault cleared: removed=%d err=%v", removed, err)
+	}
+}
+
+// TestClassify pins the errno→class mapping that both real kernel
+// failures and injected faults flow through.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want journal.Class
+	}{
+		{syscall.ENOSPC, journal.ClassDiskFull},
+		{syscall.EDQUOT, journal.ClassDiskFull},
+		{syscall.EROFS, journal.ClassPermanent},
+		{syscall.EACCES, journal.ClassPermanent},
+		{syscall.EPERM, journal.ClassPermanent},
+		{syscall.ENOENT, journal.ClassPermanent},
+		{syscall.EBADF, journal.ClassPermanent},
+		{syscall.EIO, journal.ClassTransient},
+		{syscall.EINTR, journal.ClassTransient},
+		{syscall.EAGAIN, journal.ClassTransient},
+		{io.ErrShortWrite, journal.ClassTransient},
+		{errors.New("mystery"), journal.ClassTransient},
+		{fmt.Errorf("wrapped: %w", syscall.ENOSPC), journal.ClassDiskFull},
+	}
+	for _, c := range cases {
+		if got := journal.Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestResumeAfterFailedAppend: a writer that died mid-append leaves a
+// log Resume can reopen cleanly, with only committed records surviving.
+func TestResumeAfterFailedAppend(t *testing.T) {
+	dir := t.TempDir()
+	activate(t, dir, "journal/append-write:after=1:times=1:err=erofs:partial=0.6")
+	st, err := journal.Open(dir, journal.WithRetryPolicy(fastRetry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.TypeCreated, journal.Created{Dataset: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(journal.TypeProposed, journal.Proposed{Round: 1, Seeds: []int32{1}}); err == nil {
+		t.Fatal("append expected to fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Resume("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Writer.Close()
+	if res.TailErr != nil {
+		t.Fatalf("tail should already be clean (writer truncated it): %v", res.TailErr)
+	}
+	if len(res.Records) != 1 || res.Records[0].Type != journal.TypeCreated {
+		t.Fatalf("resumed %d records", len(res.Records))
+	}
+	if err := res.Writer.Append(journal.TypeProposed, journal.Proposed{Round: 1, Seeds: []int32{1}}); err != nil {
+		t.Fatalf("append after resume: %v", err)
+	}
+	recs, tailErr, err := st.Load("s1")
+	if err != nil || tailErr != nil || len(recs) != 2 {
+		t.Fatalf("final log: %d recs, tail %v, err %v", len(recs), tailErr, err)
+	}
+}

@@ -9,6 +9,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"asti/internal/fault"
 )
 
 // walExt is the per-session log file suffix.
@@ -18,18 +21,26 @@ const walExt = ".wal"
 // `<session-id>.wal` file per session. A Store is safe for concurrent
 // use; each session's Writer serializes its own appends.
 type Store struct {
-	dir string
+	dir     string
+	retry   RetryPolicy
+	metrics storeMetrics
 }
 
 // Open returns a store over dir, creating the directory if needed.
-func Open(dir string) (*Store, error) {
+// Writers created through the store retry transient append failures
+// under DefaultRetryPolicy unless WithRetryPolicy overrides it.
+func Open(dir string, opts ...Option) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("journal: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	st := &Store{dir: dir, retry: DefaultRetryPolicy}
+	for _, opt := range opts {
+		opt(st)
+	}
+	return st, nil
 }
 
 // Dir returns the store's directory.
@@ -38,6 +49,11 @@ func (st *Store) Dir() string { return st.dir }
 // path returns the log file path for a session id.
 func (st *Store) path(id string) string {
 	return filepath.Join(st.dir, id+walExt)
+}
+
+// newWriter wires a writer to the store's retry policy and counters.
+func (st *Store) newWriter(f *os.File, path string, off int64) *Writer {
+	return &Writer{f: f, path: path, off: off, retry: st.retry, metrics: &st.metrics}
 }
 
 // Sessions returns the ids with a log file in the store, sorted.
@@ -63,21 +79,39 @@ func (st *Store) Sessions() ([]string, error) {
 // The directory entry is fsynced before Create returns, so the file
 // itself (not just its future contents) survives a power failure.
 func (st *Store) Create(id string) (*Writer, error) {
-	f, err := os.OpenFile(st.path(id), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	path := st.path(id)
+	if inj := fault.Check(SiteCreateOpen, path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return nil, fmt.Errorf("journal: open %s: %w", path, inj.Err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	if err := st.syncDir(); err != nil {
 		f.Close()
-		_ = os.Remove(st.path(id))
+		if rmErr := os.Remove(path); rmErr != nil {
+			// The un-synced file could not be cleaned up either: report both,
+			// so the operator knows a zero-length orphan may sit in the
+			// directory (recovery deletes it as an "empty log" on next boot).
+			return nil, errors.Join(err, fmt.Errorf("journal: removing unsynced log: %w", rmErr))
+		}
 		return nil, err
 	}
-	return &Writer{f: f}, nil
+	return st.newWriter(f, path, 0), nil
 }
 
 // syncDir fsyncs the store directory, making dirent changes (log
 // creation, removal) durable against power loss.
 func (st *Store) syncDir() error {
+	if inj := fault.Check(SiteSyncDir, st.dir); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return fmt.Errorf("journal: fsync %s: %w", st.dir, inj.Err)
+		}
+	}
 	d, err := os.Open(st.dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -89,13 +123,30 @@ func (st *Store) syncDir() error {
 	return nil
 }
 
+// readLog is the shared whole-file read behind Load/Resume/Compact —
+// the recovery-read fault site covers all three.
+func (st *Store) readLog(id string) ([]byte, error) {
+	path := st.path(id)
+	if inj := fault.Check(SiteLoadRead, path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return nil, fmt.Errorf("journal: read %s: %w", path, inj.Err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return data, nil
+}
+
 // Load reads a session's log without touching the file: the valid record
 // prefix, plus a non-nil tailErr describing why the scan stopped early
 // (torn tail or corrupt frame; see Scan).
 func (st *Store) Load(id string) (recs []Record, tailErr error, err error) {
-	data, err := os.ReadFile(st.path(id))
+	data, err := st.readLog(id)
 	if err != nil {
-		return nil, nil, fmt.Errorf("journal: %w", err)
+		return nil, nil, err
 	}
 	recs, _, tailErr = Scan(data)
 	return recs, tailErr, nil
@@ -118,11 +169,17 @@ type Resumed struct {
 // positioned at their end.
 func (st *Store) Resume(id string) (*Resumed, error) {
 	path := st.path(id)
-	data, err := os.ReadFile(path)
+	data, err := st.readLog(id)
 	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, err
 	}
 	recs, valid, tailErr := Scan(data)
+	if inj := fault.Check(SiteReopen, path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return nil, fmt.Errorf("journal: reopen %s: %w", path, inj.Err)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
@@ -137,7 +194,7 @@ func (st *Store) Resume(id string) (*Resumed, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Resumed{Writer: &Writer{f: f}, Records: recs, TailErr: tailErr}, nil
+	return &Resumed{Writer: st.newWriter(f, path, int64(valid)), Records: recs, TailErr: tailErr}, nil
 }
 
 // Compact rewrites a session's log as [created record][newest checkpoint
@@ -159,9 +216,9 @@ func (st *Store) Resume(id string) (*Resumed, error) {
 // checkpoint against replay before Compact may trust it.
 func (st *Store) Compact(id string) (removed int64, err error) {
 	path := st.path(id)
-	data, err := os.ReadFile(path)
+	data, err := st.readLog(id)
 	if err != nil {
-		return 0, fmt.Errorf("journal: %w", err)
+		return 0, err
 	}
 	recs, valid, tailErr := Scan(data)
 	if tailErr != nil {
@@ -189,27 +246,52 @@ func (st *Store) Compact(id string) (removed int64, err error) {
 		return 0, nil
 	}
 	tmp := path + ".tmp"
+	// cleanup folds a failed temp-file removal into the returned error
+	// instead of discarding it: a .tmp orphan is harmless to correctness
+	// (Compact O_TRUNCs it next time) but the operator budgeting a nearly
+	// full disk deserves to know it is there.
+	cleanup := func(cause error) error {
+		if rmErr := os.Remove(tmp); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return errors.Join(cause, fmt.Errorf("journal: compact: removing temp file: %w", rmErr))
+		}
+		return cause
+	}
+	if inj := fault.Check(SiteCompactWrite, tmp); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return 0, cleanup(fmt.Errorf("journal: compact: write %s: %w", tmp, inj.Err))
+		}
+	}
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("journal: compact: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("journal: compact: %w", err)
+		return 0, cleanup(fmt.Errorf("journal: compact: %w", err))
+	}
+	if inj := fault.Check(SiteCompactSync, tmp); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			f.Close()
+			return 0, cleanup(fmt.Errorf("journal: compact: fsync %s: %w", tmp, inj.Err))
+		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("journal: compact: fsync %s: %w", tmp, err)
+		return 0, cleanup(fmt.Errorf("journal: compact: fsync %s: %w", tmp, err))
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("journal: compact: %w", err)
+		return 0, cleanup(fmt.Errorf("journal: compact: %w", err))
+	}
+	if inj := fault.Check(SiteCompactRename, path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return 0, cleanup(fmt.Errorf("journal: compact: rename %s: %w", tmp, inj.Err))
+		}
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
-		return 0, fmt.Errorf("journal: compact: %w", err)
+		return 0, cleanup(fmt.Errorf("journal: compact: %w", err))
 	}
 	if err := st.syncDir(); err != nil {
 		return 0, err
@@ -243,11 +325,23 @@ func (st *Store) Remove(id string) error {
 // Writer appends committed records to one session's log. Append is the
 // commit point: it frames, writes and fsyncs before returning, so a
 // record that Append acknowledged survives an immediate process kill.
+//
+// A writer built by a Store additionally retries transient-class
+// failures (see Classify) under the store's RetryPolicy: the file is
+// reopened by path, truncated back to the last committed offset — which
+// erases any torn bytes the failed attempt left — and the whole frame is
+// rewritten and fsynced. Disk-full and permanent failures return
+// immediately; on any final failure the writer best-effort truncates the
+// torn tail away so the on-disk log still ends on a committed frame.
 // A Writer is safe for concurrent use.
 type Writer struct {
-	mu     sync.Mutex
-	f      *os.File
-	closed bool
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	off     int64 // bytes of committed (written+synced) frames
+	retry   RetryPolicy
+	metrics *storeMetrics
+	closed  bool
 }
 
 // Append frames one record (type + JSON-encoded body v, nil for closed
@@ -270,17 +364,113 @@ func (w *Writer) AppendFrame(frame []byte) error {
 	if len(frame) > headerLen {
 		t = Type(frame[headerLen])
 	}
+	siteWrite, siteSync := SiteAppendWrite, SiteAppendSync
+	if t == TypeCheckpoint {
+		siteWrite, siteSync = SiteCheckpointWrite, SiteCheckpointSync
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return errors.New("journal: writer closed")
 	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = w.tryAppendLocked(siteWrite, siteSync, frame)
+		if err == nil {
+			w.off += int64(len(frame))
+			return nil
+		}
+		class := Classify(err)
+		if class != ClassTransient || attempt >= w.retry.MaxRetries {
+			if w.metrics != nil {
+				w.metrics.failures.Add(1)
+				if class == ClassDiskFull {
+					w.metrics.diskFull.Add(1)
+				}
+			}
+			// Best-effort repair: drop any torn bytes the failed attempt
+			// left, so the log on disk still ends on the last committed frame
+			// (emergency compaction refuses logs with damaged tails, and
+			// shrinking a file needs no free disk space even under ENOSPC).
+			// The seek matters too: a partial write advanced the fd offset,
+			// and a later append through this handle must not leave a hole.
+			if w.f != nil {
+				_ = w.f.Truncate(w.off)
+				_, _ = w.f.Seek(w.off, io.SeekStart)
+			}
+			return fmt.Errorf("journal: append %s (%s): %w", t, class, err)
+		}
+		if w.metrics != nil {
+			w.metrics.retries.Add(1)
+		}
+		time.Sleep(w.retry.backoff(attempt + 1))
+		if rerr := w.reopenLocked(); rerr != nil {
+			if w.metrics != nil {
+				w.metrics.failures.Add(1)
+			}
+			return fmt.Errorf("journal: append %s: reopen after %v: %w", t, err, rerr)
+		}
+	}
+}
+
+// tryAppendLocked performs one write+fsync attempt at the committed
+// offset; callers hold w.mu.
+func (w *Writer) tryAppendLocked(siteWrite, siteSync fault.Site, frame []byte) error {
+	if inj := fault.Check(siteWrite, w.path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			if k, partial := inj.PartialLen(len(frame)); partial {
+				// A torn write that really hit the disk before failing: the
+				// retry (or the next recovery scan) must cope with the
+				// dangling prefix.
+				_, _ = w.f.Write(frame[:k])
+			}
+			return fmt.Errorf("write %s: %w", w.path, inj.Err)
+		}
+	}
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("journal: append %s: %w", t, err)
+		return err
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync %s: %w", t, err)
+	if inj := fault.Check(siteSync, w.path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return fmt.Errorf("fsync %s: %w", w.path, inj.Err)
+		}
 	}
+	return w.f.Sync()
+}
+
+// reopenLocked re-establishes the writer's file handle for a retry: the
+// old handle is discarded (a failed fsync leaves its dirty-page state
+// undefined, so the fd cannot be trusted again), the log is reopened by
+// path, truncated back to the committed offset — erasing torn bytes from
+// the failed attempt — and positioned for the rewrite. Callers hold w.mu.
+func (w *Writer) reopenLocked() error {
+	if w.metrics != nil {
+		w.metrics.reopens.Add(1)
+	}
+	if inj := fault.Check(SiteReopen, w.path); inj != nil {
+		inj.Sleep()
+		if inj.Err != nil {
+			return fmt.Errorf("reopen %s: %w", w.path, inj.Err)
+		}
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(w.off); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(w.off, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	if w.f != nil {
+		_ = w.f.Close()
+	}
+	w.f = f
 	return nil
 }
 

@@ -200,8 +200,8 @@ func checkpointsEquivalent(a, b journal.Checkpoint) bool {
 // only a snapshot that survives is appended. A snapshot that fails is
 // counted and skipped; the session continues on plain replay, which is
 // always correct. Only a failed append (or a failed log reopen after
-// compaction) is an error: those break the write-ahead contract and
-// poison the session like any other append failure.
+// compaction) is an error: those break the write-ahead contract and go
+// to the session's durability policy like any other append failure.
 func (s *Session) maybeCheckpointLocked() error {
 	ck, ok := s.exportCheckpointLocked()
 	if !ok {
@@ -216,10 +216,14 @@ func (s *Session) maybeCheckpointLocked() error {
 		s.noteCheckpointFailed()
 		return nil
 	}
-	if err := s.jw.AppendFrame(frame); err != nil {
-		return s.failLocked(fmt.Errorf("serve: round %d checkpoint: %w", s.round, err))
+	if err := s.commitFrameLocked(frame); err != nil {
+		return err
 	}
-	s.histDigest = journal.DigestFrame(s.histDigest, frame)
+	if s.jw == nil {
+		// The degrade policy fired inside the commit: the checkpoint was
+		// not written and the session now serves non-durably.
+		return nil
+	}
 	s.ckpts = ck.Seq
 	s.lastCkptRound = s.round
 	if s.mgr != nil {
@@ -269,7 +273,8 @@ func (s *Session) verifyCheckpointLocked(ck journal.Checkpoint) bool {
 // rewritten as [created][checkpoint], and a fresh writer resumed at its
 // end. Callers hold s.mu. A failed rewrite is harmless (the log is
 // intact either way — rename is atomic) but a failed reopen leaves the
-// session without a writer, which poisons it like an append failure.
+// session without a writer, which the durability policy handles like an
+// append failure.
 func (s *Session) compactLocked() error {
 	if s.store == nil || s.id == "" || s.jw == nil {
 		return nil
@@ -279,7 +284,7 @@ func (s *Session) compactLocked() error {
 	removed, cerr := s.store.Compact(s.id)
 	res, rerr := s.store.Resume(s.id)
 	if rerr != nil {
-		return s.failLocked(fmt.Errorf("serve: reopening log after compaction: %w", rerr))
+		return s.journalFailureLocked(fmt.Errorf("serve: reopening log after compaction: %w", rerr))
 	}
 	s.jw = res.Writer
 	if cerr == nil && removed > 0 && s.mgr != nil {

@@ -66,6 +66,64 @@ type Config struct {
 // cap is reached.
 var ErrTooManySessions = errors.New("serve: session limit reached")
 
+// ErrJournalUnhealthy is returned by Create on a journaled manager while
+// the journal-health breaker is open: a recent commit or create hit a
+// final (post-retry) journal failure, and admitting new durable sessions
+// onto a sick disk would only mint more broken campaigns. The breaker
+// re-probes after its cooldown — the next Create attempt goes through
+// and its outcome re-arms or resets the breaker. Front ends map this to
+// 503 with a Retry-After of Manager.BreakerRetryAfter.
+var ErrJournalUnhealthy = errors.New("serve: journal unhealthy, not admitting new durable sessions")
+
+// DurabilityPolicy decides what a journaled session does when its
+// write-ahead log fails for good (the writer's bounded retries and the
+// emergency ENOSPC compaction are already spent).
+type DurabilityPolicy int
+
+const (
+	// FailStop (the default) closes the session with the cause recorded:
+	// the write-ahead contract cannot hold, so the session refuses to
+	// acknowledge transitions that would not survive a crash.
+	FailStop DurabilityPolicy = iota
+	// DegradeToNonDurable keeps the session serving without the journal:
+	// Status.Durable flips false and Degraded carries the cause, while
+	// the log stays on disk frozen at the last durable transition — a
+	// later crash recovers the session there (a rollback the client can
+	// see coming, since every acknowledgement after the degrade said
+	// Durable=false).
+	DegradeToNonDurable
+)
+
+// String returns the policy's wire name.
+func (p DurabilityPolicy) String() string {
+	switch p {
+	case FailStop:
+		return "fail-stop"
+	case DegradeToNonDurable:
+		return "degrade"
+	default:
+		return fmt.Sprintf("DurabilityPolicy(%d)", int(p))
+	}
+}
+
+// ParseDurabilityPolicy maps a wire name ("fail-stop", "degrade") back
+// to its policy.
+func ParseDurabilityPolicy(name string) (DurabilityPolicy, error) {
+	switch strings.ToLower(name) {
+	case "", "fail-stop", "failstop":
+		return FailStop, nil
+	case "degrade", "degrade-to-non-durable":
+		return DegradeToNonDurable, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown durability policy %q (fail-stop, degrade)", name)
+	}
+}
+
+// DefaultBreakerCooldown is how long the journal-health breaker keeps
+// rejecting new durable sessions after a final journal failure before
+// letting a probe create through.
+const DefaultBreakerCooldown = 15 * time.Second
+
 // ErrUnknownSession is returned by Session, Close and Passivate for ids
 // not in the table (never created, or deleted). Front ends use it to
 // separate the caller's 404 from server-side failures: a reactivation
@@ -98,6 +156,19 @@ type Manager struct {
 	passivations  uint64
 	reactivations uint64
 	passive       int
+
+	// Resilience state (guarded by mu). durability and breakerCooldown
+	// are set at construction and read-only afterwards. breakerUntil is
+	// the journal-health breaker: non-zero and in the future means open
+	// (Create rejects durable sessions); a Create arriving after it
+	// passes is the probe that closes it.
+	durability           DurabilityPolicy
+	breakerCooldown      time.Duration
+	breakerUntil         time.Time
+	breakerTrips         uint64
+	poisoned             uint64
+	degradedTotal        uint64
+	emergencyCompactions uint64
 
 	// Checkpointing configuration and counters (the config fields are
 	// set at construction and read-only afterwards; counters guarded by
@@ -198,16 +269,105 @@ func WithCompaction(on bool) ManagerOption {
 	return func(m *Manager) { m.compact = on }
 }
 
+// WithDurabilityPolicy selects what journaled sessions do when their
+// write-ahead log fails for good: FailStop (default) closes the session
+// with the cause recorded; DegradeToNonDurable keeps it serving with
+// Status.Durable=false and the Degraded flag raised.
+func WithDurabilityPolicy(p DurabilityPolicy) ManagerOption {
+	return func(m *Manager) { m.durability = p }
+}
+
+// WithBreakerCooldown sets how long the journal-health breaker rejects
+// new durable sessions after a final journal failure before re-probing
+// (default DefaultBreakerCooldown; d <= 0 disables the breaker).
+func WithBreakerCooldown(d time.Duration) ManagerOption {
+	return func(m *Manager) { m.breakerCooldown = d }
+}
+
 // CheckpointEvery returns the manager's checkpoint interval in rounds
 // (0 = checkpointing off).
 func (m *Manager) CheckpointEvery() int { return m.ckptEvery }
+
+// DurabilityPolicy returns the journal-failure policy sessions run
+// under.
+func (m *Manager) DurabilityPolicy() DurabilityPolicy { return m.durability }
+
+// BreakerRetryAfter returns how long until the journal-health breaker
+// re-probes (0 = breaker closed; front ends turn this into Retry-After).
+func (m *Manager) BreakerRetryAfter() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.breakerUntil.IsZero() {
+		return 0
+	}
+	d := time.Until(m.breakerUntil)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// noteJournalFailure opens (or re-arms) the journal-health breaker after
+// a final journal failure; sessions call it from under their own lock
+// (lock order s.mu → m.mu).
+func (m *Manager) noteJournalFailure() {
+	if m.breakerCooldown <= 0 {
+		return
+	}
+	m.mu.Lock()
+	now := time.Now()
+	if m.breakerUntil.IsZero() || now.After(m.breakerUntil) {
+		m.breakerTrips++ // closed → open transition
+	}
+	m.breakerUntil = now.Add(m.breakerCooldown)
+	m.mu.Unlock()
+}
+
+// admitDurable gates Create on the journal-health breaker. A call
+// arriving while the breaker is open is rejected; the first call after
+// the cooldown closes the breaker and proceeds as the probe (its own
+// failure would re-open it via noteJournalFailure).
+func (m *Manager) admitDurable() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.breakerUntil.IsZero() {
+		return nil
+	}
+	if time.Now().Before(m.breakerUntil) {
+		return ErrJournalUnhealthy
+	}
+	m.breakerUntil = time.Time{}
+	return nil
+}
+
+// notePoisoned / noteDegraded / noteEmergencyCompaction maintain the
+// resilience counters; sessions call them from under their own lock
+// (lock order s.mu → m.mu).
+func (m *Manager) notePoisoned() {
+	m.mu.Lock()
+	m.poisoned++
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteDegraded() {
+	m.mu.Lock()
+	m.degradedTotal++
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteEmergencyCompaction() {
+	m.mu.Lock()
+	m.emergencyCompactions++
+	m.mu.Unlock()
+}
 
 // NewManager returns a manager resolving datasets from reg. limit caps
 // the number of concurrently open sessions (0 = unlimited).
 func NewManager(reg *Registry, limit int, opts ...ManagerOption) *Manager {
 	m := &Manager{reg: reg, sessions: map[string]*Session{}, limit: limit,
 		reactInflight: map[string]chan struct{}{},
-		ckptEvery:     DefaultCheckpointEvery, compact: true}
+		ckptEvery:     DefaultCheckpointEvery, compact: true,
+		breakerCooldown: DefaultBreakerCooldown}
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -350,6 +510,11 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	if jerr != nil {
 		return nil, jerr
 	}
+	if st != nil {
+		if err := m.admitDurable(); err != nil {
+			return nil, err
+		}
+	}
 	// Resolve the sampler version before anything is built or journaled:
 	// the created record must pin an explicit version, or a later binary
 	// with a newer default could not replay this session's log.
@@ -385,6 +550,10 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 			m.creating--
 			m.mu.Unlock()
 			s.Close()
+			// A create that cannot commit its first record is the same sick
+			// disk a failed append signals: open the breaker (this is also
+			// how a failed probe re-arms it).
+			m.noteJournalFailure()
 			return nil, err
 		}
 	}
@@ -444,6 +613,7 @@ func (m *Manager) buildSession(cfg Config) (*Session, error) {
 	s.mgr = m
 	s.ckptEvery = m.ckptEvery
 	s.compactOn = m.compact
+	s.durability = m.durability
 	s.graphSig = m.graphSig(g)
 	return s, nil
 }
@@ -739,21 +909,47 @@ type Stats struct {
 	Checkpoints        uint64
 	Compactions        uint64
 	CheckpointRestores uint64
+	// Poisoned counts sessions closed by a journal failure under the
+	// fail-stop policy, Degraded the sessions that switched to
+	// non-durable serving under the degrade policy, and
+	// EmergencyCompactions the ENOSPC episodes answered with an on-demand
+	// log compaction.
+	Poisoned             uint64
+	Degraded             uint64
+	EmergencyCompactions uint64
+	// JournalHealthy is false while the journal-health breaker is open
+	// (new durable sessions are being rejected); BreakerTrips counts
+	// closed→open transitions.
+	JournalHealthy bool
+	BreakerTrips   uint64
+	// Journal carries the store's append-resilience counters (retries,
+	// final failures, disk-full episodes, writer reopens); zero-valued on
+	// an unjournaled manager.
+	Journal journal.StoreMetrics
 }
 
 // Stats returns the manager's O(1) lifecycle counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{
-		Sessions:           len(m.sessions),
-		Passivated:         m.passive,
-		Passivations:       m.passivations,
-		Reactivations:      m.reactivations,
-		Checkpoints:        m.checkpoints,
-		Compactions:        m.compactions,
-		CheckpointRestores: m.ckptRestores,
+	st := Stats{
+		Sessions:             len(m.sessions),
+		Passivated:           m.passive,
+		Passivations:         m.passivations,
+		Reactivations:        m.reactivations,
+		Checkpoints:          m.checkpoints,
+		Compactions:          m.compactions,
+		CheckpointRestores:   m.ckptRestores,
+		Poisoned:             m.poisoned,
+		Degraded:             m.degradedTotal,
+		EmergencyCompactions: m.emergencyCompactions,
+		JournalHealthy:       m.breakerUntil.IsZero() || !time.Now().Before(m.breakerUntil),
+		BreakerTrips:         m.breakerTrips,
 	}
+	if m.journal != nil {
+		st.Journal = m.journal.Metrics()
+	}
+	return st
 }
 
 // Count returns the number of open sessions, passivated ones included
@@ -793,6 +989,17 @@ type Metrics struct {
 	// CheckpointRestores counts recoveries/reactivations that resumed
 	// from a checkpoint instead of replaying the full history.
 	CheckpointRestores uint64
+	// Poisoned / Degraded / EmergencyCompactions / JournalHealthy /
+	// BreakerTrips / Journal mirror the Stats resilience counters (see
+	// Stats); DegradedNow is the walked gauge of sessions currently
+	// serving non-durably.
+	Poisoned             uint64
+	Degraded             uint64
+	DegradedNow          int
+	EmergencyCompactions uint64
+	JournalHealthy       bool
+	BreakerTrips         uint64
+	Journal              journal.StoreMetrics
 	// PoolBytes is the summed per-session sampling-pool estimate
 	// (passivated sessions contribute 0 — that is the point).
 	PoolBytes int64
@@ -812,22 +1019,33 @@ func (m *Manager) Metrics() Metrics {
 	}
 	st := m.journal
 	mt := Metrics{
-		Phases:             map[string]int{},
-		Passivations:       m.passivations,
-		Reactivations:      m.reactivations,
-		Checkpoints:        m.checkpoints,
-		CheckpointFailures: m.ckptFailures,
-		Compactions:        m.compactions,
-		CompactedBytes:     m.compactedBytes,
-		CheckpointRestores: m.ckptRestores,
+		Phases:               map[string]int{},
+		Passivations:         m.passivations,
+		Reactivations:        m.reactivations,
+		Checkpoints:          m.checkpoints,
+		CheckpointFailures:   m.ckptFailures,
+		Compactions:          m.compactions,
+		CompactedBytes:       m.compactedBytes,
+		CheckpointRestores:   m.ckptRestores,
+		Poisoned:             m.poisoned,
+		Degraded:             m.degradedTotal,
+		EmergencyCompactions: m.emergencyCompactions,
+		JournalHealthy:       m.breakerUntil.IsZero() || !time.Now().Before(m.breakerUntil),
+		BreakerTrips:         m.breakerTrips,
 	}
 	m.mu.Unlock()
+	if st != nil {
+		mt.Journal = st.Metrics()
+	}
 	for _, s := range sessions {
 		stt := s.Status()
 		mt.Sessions++
 		mt.Phases[stt.Phase]++
 		if stt.Phase == PhasePassivated.String() {
 			mt.Passivated++
+		}
+		if stt.Degraded {
+			mt.DegradedNow++
 		}
 		mt.PoolBytes += stt.PoolBytes
 		if st != nil && stt.Durable {

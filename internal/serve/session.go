@@ -127,6 +127,18 @@ type Session struct {
 	ckpts         int
 	lastCkptRound int
 
+	// Resilience state. durability decides what a final journal failure
+	// does (copied from the manager at build time); degraded means the
+	// degrade policy already fired — the session serves without a journal
+	// (jw is nil, the log on disk is frozen at the last durable
+	// transition) with degradeReason carrying the cause. lastFailure
+	// records the most recent final journal failure whichever policy
+	// handled it, so a poisoned session's Status still says why it died.
+	durability    DurabilityPolicy
+	degraded      bool
+	degradeReason string
+	lastFailure   string
+
 	// Passivation bookkeeping: how many times an idle sweep released this
 	// campaign's resources (carried across reactivations by the manager),
 	// and — on a passivated object — the status snapshot taken when the
@@ -250,10 +262,9 @@ func (s *Session) Propose() (Proposal, error) {
 			s.round--
 			return Proposal{}, fmt.Errorf("serve: round %d: %w", s.round+1, err)
 		}
-		if err := s.jw.AppendFrame(frame); err != nil {
-			return Proposal{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
+		if err := s.commitFrameLocked(frame); err != nil {
+			return Proposal{}, err
 		}
-		s.histDigest = journal.DigestFrame(s.histDigest, frame)
 	}
 	s.pending = append([]int32(nil), batch...)
 	s.phase = PhaseObserve
@@ -322,10 +333,9 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 			// is the caller's oversized record, not a broken log.
 			return Progress{}, fmt.Errorf("serve: round %d: %w", s.round, err)
 		}
-		if err := s.jw.AppendFrame(frame); err != nil {
-			return Progress{}, s.failLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
+		if err := s.commitFrameLocked(frame); err != nil {
+			return Progress{}, err
 		}
-		s.histDigest = journal.DigestFrame(s.histDigest, frame)
 	}
 	before := s.activatedLocked()
 	niBefore := int64(len(s.inactive))
@@ -355,9 +365,10 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 	if s.jw != nil && s.ckptEvery > 0 && s.round > s.lastCkptRound &&
 		(s.round%s.ckptEvery == 0 || s.phase == PhaseDone) {
 		if err := s.maybeCheckpointLocked(); err != nil {
-			// Append/reopen failure: the session is poisoned (write-ahead
-			// contract), but the observation itself was committed — recovery
-			// resumes past it.
+			// Append/reopen failure under fail-stop: the session is poisoned
+			// (write-ahead contract), but the observation itself was committed
+			// — recovery resumes past it. Under the degrade policy the error
+			// is nil and the session continues non-durably.
 			return Progress{}, err
 		}
 	}
@@ -404,6 +415,19 @@ type Status struct {
 	// sessions report true: passivation is only available to journaled
 	// sessions, and the journal is exactly where their state lives.
 	Durable bool
+	// Degraded reports that a final journal failure switched the session
+	// to non-durable serving under the degrade durability policy (Durable
+	// is false from that point on); DegradeReason carries the cause. A
+	// restart recovers the session from its frozen log — at the last
+	// durable transition, not at the degraded head — and clears the flag.
+	Degraded bool
+	// DegradeReason is the journal failure that degraded the session
+	// ("" unless Degraded).
+	DegradeReason string
+	// LastFailure is the most recent final journal failure the session
+	// saw, whichever durability policy handled it ("" if none). For a
+	// poisoned (fail-stop) session this is why it closed.
+	LastFailure string
 	// Passivations counts how many times an idle sweep passivated this
 	// session (carried across reactivations and reported even while the
 	// session is passivated; reset by a process restart).
@@ -458,6 +482,9 @@ func (s *Session) statusLocked() Status {
 		Activated:           s.activatedLocked(),
 		Done:                s.phase == PhaseDone,
 		Durable:             s.jw != nil,
+		Degraded:            s.degraded,
+		DegradeReason:       s.degradeReason,
+		LastFailure:         s.lastFailure,
 		Passivations:        s.passivations,
 		Checkpoints:         s.ckpts,
 		LastCheckpointRound: s.lastCkptRound,
@@ -598,12 +625,102 @@ func (s *Session) consumePassiveCount() bool {
 	return c
 }
 
+// commitFrameLocked appends one write-ahead frame with the session's
+// full resilience ladder behind it: the writer's own bounded retries run
+// first (inside AppendFrame); a disk-full failure then gets one
+// emergency compaction and a single re-append; and whatever still fails
+// goes to journalFailureLocked, where the durability policy decides
+// between poisoning the session (fail-stop, the returned error) and
+// degrading it to non-durable serving (nil — the caller proceeds with
+// the transition acknowledged un-journaled). On success the history
+// digest advances. Callers hold s.mu with s.jw armed.
+func (s *Session) commitFrameLocked(frame []byte) error {
+	err := s.jw.AppendFrame(frame)
+	if err != nil && journal.Classify(err) == journal.ClassDiskFull {
+		if cerr := s.emergencyCompactLocked(); cerr == nil {
+			err = s.jw.AppendFrame(frame)
+		}
+	}
+	if err != nil {
+		return s.journalFailureLocked(fmt.Errorf("serve: round %d: %w", s.round, err))
+	}
+	s.histDigest = journal.DigestFrame(s.histDigest, frame)
+	return nil
+}
+
+// emergencyCompactLocked answers a disk-full append by compacting the
+// session's own log in place (dropping the replay history before the
+// newest checkpoint — the one way to free journal bytes without new
+// space) and re-arming the writer at the shrunken end. It returns nil
+// only when the compaction actually reclaimed bytes, so the caller does
+// not burn its one re-append on a log that is as small as it gets.
+// Callers hold s.mu with s.jw armed.
+func (s *Session) emergencyCompactLocked() error {
+	if s.store == nil || s.id == "" {
+		return errors.New("serve: no store to compact")
+	}
+	_ = s.jw.Close()
+	s.jw = nil
+	removed, cerr := s.store.Compact(s.id)
+	res, rerr := s.store.Resume(s.id)
+	if rerr != nil {
+		// No writer anymore: this is its own final journal failure, but the
+		// caller's journalFailureLocked handles it with the original error.
+		return fmt.Errorf("serve: reopening log after emergency compaction: %w", rerr)
+	}
+	s.jw = res.Writer
+	if cerr != nil {
+		return cerr
+	}
+	if removed == 0 {
+		return errors.New("serve: emergency compaction freed no bytes")
+	}
+	// The rewrite changed the log bytes but not the history the digest
+	// chains over: Compact preserves record identity, and the digest is
+	// over records, not file offsets.
+	if s.mgr != nil {
+		s.mgr.noteEmergencyCompaction()
+		s.mgr.noteCompaction(removed)
+	}
+	return nil
+}
+
+// journalFailureLocked is the final-failure policy switch: the writer's
+// retries and the emergency compaction are spent, so durability is
+// genuinely lost. Under fail-stop the session is poisoned (the returned
+// error propagates to the caller); under degrade it keeps serving
+// non-durably — the journal writer is released, the log stays frozen on
+// disk at the last durable transition, and Status flips
+// Durable=false/Degraded=true. Either way the manager's journal-health
+// breaker learns of the failure. Callers hold s.mu.
+func (s *Session) journalFailureLocked(err error) error {
+	s.lastFailure = err.Error()
+	if s.mgr != nil {
+		s.mgr.noteJournalFailure()
+	}
+	if s.durability == DegradeToNonDurable {
+		if s.jw != nil {
+			_ = s.jw.Close()
+			s.jw = nil
+		}
+		s.degraded = true
+		s.degradeReason = err.Error()
+		if s.mgr != nil {
+			s.mgr.noteDegraded()
+		}
+		return nil
+	}
+	return s.failLocked(err)
+}
+
 // failLocked poisons the session after a journal append failure: the
 // write-ahead contract ("journaled before acknowledged") cannot hold
 // anymore, so instead of serving acknowledgements that would not survive
-// a crash, the session closes. Callers hold s.mu; the wrapped error is
+// a crash, the session closes. The cause is recorded for Status and the
+// manager's poisoned counter. Callers hold s.mu; the wrapped error is
 // returned for relaying.
 func (s *Session) failLocked(err error) error {
+	s.lastFailure = err.Error()
 	s.phase = PhaseClosed
 	s.pending = nil
 	if s.jw != nil {
@@ -612,6 +729,9 @@ func (s *Session) failLocked(err error) error {
 	}
 	if c, ok := s.policy.(interface{ Close() }); ok {
 		c.Close()
+	}
+	if s.mgr != nil {
+		s.mgr.notePoisoned()
 	}
 	return err
 }

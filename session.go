@@ -155,3 +155,28 @@ func WithCheckpointEvery(k int) SessionManagerOption {
 func WithCompaction(on bool) SessionManagerOption {
 	return serve.WithCompaction(on)
 }
+
+// Durability policies for WithDurabilityPolicy: what a durable session
+// does when its write-ahead log fails for good (the journal writer's
+// bounded retries and the emergency disk-full compaction are already
+// spent).
+const (
+	// FailStop closes the session with the cause recorded in its Status
+	// (the default — never acknowledge a transition that would not
+	// survive a crash).
+	FailStop = serve.FailStop
+	// DegradeToNonDurable keeps the session serving without the journal:
+	// Status.Durable flips false, Status.Degraded carries the cause, and
+	// the log stays frozen on disk at the last durable transition (where
+	// a later restart would recover the session).
+	DegradeToNonDurable = serve.DegradeToNonDurable
+)
+
+// WithDurabilityPolicy selects between the FailStop and
+// DegradeToNonDurable responses to a final journal failure. Transient
+// failures are invisible at this level: the journal writer retries them
+// with bounded exponential backoff, and a disk-full failure first gets
+// an emergency log compaction, before the policy is consulted.
+func WithDurabilityPolicy(p serve.DurabilityPolicy) SessionManagerOption {
+	return serve.WithDurabilityPolicy(p)
+}
