@@ -1,0 +1,178 @@
+// Command asmload is the load generator for asmserve: it drives many
+// concurrent adaptive-seeding campaigns over the real HTTP wire and
+// reports what a client fleet experiences — session throughput, per-step
+// latency quantiles (p50/p90/p99/p999), and an exact error census —
+// plus the server's own /metrics view, into a machine-readable JSON
+// report.
+//
+// Usage:
+//
+//	asmload -url http://127.0.0.1:8080 -dataset synth-nethept \
+//	        -mode closed -concurrency 1000 -sessions 2000 -max-rounds 4 \
+//	        -warmup 2s -o BENCH_load.json
+//
+//	asmload -mode open -rate 50 -duration 30s ...   # fixed arrival rate
+//
+// Exit status: 0 on a clean run; 1 on setup/run errors; 2 when a gate
+// fails (-min-throughput not met, or more unexpected non-2xx responses
+// than -max-unexpected) — the form CI load smokes key off.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asti/internal/loadgen"
+)
+
+// errGate marks a failed acceptance gate (exit 2, distinct from setup
+// errors) so CI can tell "the server is too slow / erroring" apart from
+// "the bench never ran".
+type errGate struct{ msg string }
+
+func (e *errGate) Error() string { return e.msg }
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "asmload: %v\n", err)
+	if _, gate := err.(*errGate); gate {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("asmload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url         = fs.String("url", "http://127.0.0.1:8080", "asmserve base URL")
+		mode        = fs.String("mode", "closed", "arrival model: closed (fixed fleet) or open (fixed rate)")
+		concurrency = fs.Int("concurrency", 64, "closed loop: concurrent campaign drivers")
+		rate        = fs.Float64("rate", 0, "open loop: campaign arrivals per second")
+		sessions    = fs.Int("sessions", 0, "total campaigns to run (0 = until -duration)")
+		duration    = fs.Duration("duration", 0, "measurement window wall clock (0 = until -sessions complete)")
+		warmup      = fs.Duration("warmup", 0, "discard measurements for this long after start")
+		think       = fs.Duration("think", 0, "pause between a campaign's rounds")
+		maxRounds   = fs.Int("max-rounds", 4, "rounds per campaign (0 = drive to η)")
+		churn       = fs.Float64("churn", 0, "per-round probability of a -churn-pause dormancy (passivation churn against the server's -idle-ttl)")
+		churnPause  = fs.Duration("churn-pause", 2*time.Second, "how long a churned campaign sleeps")
+
+		dataset    = fs.String("dataset", "synth-nethept", "campaign dataset name")
+		policy     = fs.String("policy", "", "proposal policy (server default ASTI)")
+		model      = fs.String("model", "", "diffusion model IC or LT (server default IC)")
+		eta        = fs.Int64("eta", 0, "absolute threshold η (0 = use -eta-frac)")
+		etaFrac    = fs.Float64("eta-frac", 0.05, "threshold as a fraction of n")
+		epsilon    = fs.Float64("epsilon", 0, "approximation slack ε (server default 0.5)")
+		workers    = fs.Int("workers", 1, "per-session sampling workers (1 keeps memory per session bounded under high concurrency)")
+		samplerVer = fs.Int("sampler-version", 0, "pin the sampler contract version (0 = server default)")
+		seed       = fs.Uint64("seed", 1, "base sampling seed; campaign i uses seed+i")
+
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+
+		out           = fs.String("o", "", "write the JSON report to this file (empty = stdout only)")
+		quiet         = fs.Bool("quiet", false, "suppress the human-readable summary on stderr")
+		minThroughput = fs.Float64("min-throughput", 0, "gate: fail (exit 2) when sessions/sec falls below this")
+		maxUnexpected = fs.Int("max-unexpected", -1, "gate: fail (exit 2) when unexpected non-2xx responses exceed this (-1 = don't gate)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:        *url,
+		Mode:           *mode,
+		Concurrency:    *concurrency,
+		Rate:           *rate,
+		Sessions:       *sessions,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		ThinkTime:      *think,
+		MaxRounds:      *maxRounds,
+		Churn:          *churn,
+		ChurnPause:     *churnPause,
+		Dataset:        *dataset,
+		Policy:         *policy,
+		Model:          *model,
+		Eta:            *eta,
+		EtaFrac:        *etaFrac,
+		Epsilon:        *epsilon,
+		Workers:        *workers,
+		SamplerVersion: *samplerVer,
+		Seed:           *seed,
+		Timeout:        *timeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	} else {
+		stdout.Write(blob)
+	}
+
+	if !*quiet {
+		printSummary(stderr, rep)
+	}
+	if *out != "" && !*quiet {
+		fmt.Fprintf(stderr, "report written to %s\n", *out)
+	}
+
+	if *maxUnexpected >= 0 && rep.UnexpectedErrors() > uint64(*maxUnexpected) {
+		return &errGate{fmt.Sprintf("gate failed: %d unexpected errors (max %d): %v",
+			rep.UnexpectedErrors(), *maxUnexpected, rep.Errors)}
+	}
+	if *minThroughput > 0 && rep.SessionsPerSec < *minThroughput {
+		return &errGate{fmt.Sprintf("gate failed: %.2f sessions/sec below the %.2f floor",
+			rep.SessionsPerSec, *minThroughput)}
+	}
+	return nil
+}
+
+// printSummary renders the human-readable digest of a run.
+func printSummary(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "mode=%s sessions: started=%d completed=%d aborted=%d rounds=%d\n",
+		rep.Config.Mode, rep.SessionsStarted, rep.SessionsCompleted, rep.SessionsAborted, rep.Rounds)
+	fmt.Fprintf(w, "throughput: %.2f sessions/sec, %.2f steps/sec over %.1fs measured\n",
+		rep.SessionsPerSec, rep.StepsPerSec, rep.MeasuredSeconds)
+	for _, op := range []string{"create", "next", "observe", "delete"} {
+		s := rep.Steps[op]
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8s n=%-7d p50=%.2fms p90=%.2fms p99=%.2fms p999=%.2fms max=%.2fms\n",
+			op, s.Count, s.P50Ms, s.P90Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+	}
+	if len(rep.Retries) > 0 {
+		fmt.Fprintf(w, "retries honored: %v (exhausted %d)\n", rep.Retries, rep.RetriesExhausted)
+	}
+	if len(rep.Errors) > 0 {
+		fmt.Fprintf(w, "UNEXPECTED errors: %v\n", rep.Errors)
+	}
+	if rep.Server != nil {
+		fmt.Fprintf(w, "server: creates=%.0f proposals=%.0f observations=%.0f peak_pool=%.0fB peak_wal=%.0fB\n",
+			rep.Server.CreatedTotal, rep.Server.ProposalsTotal, rep.Server.ObservationsTotal,
+			rep.Server.PeakPoolBytes, rep.Server.PeakJournalBytes)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"asti/internal/loadgen"
+)
+
+// fakeServe is a minimal wire-compatible stand-in for asmserve (the
+// real server lives in another main package and cannot be imported);
+// the CLI test only needs the protocol shape, the end-to-end pairing
+// runs in CI's load smoke against the real binary.
+func fakeServe(t *testing.T, failNext bool) *httptest.Server {
+	var mu sync.Mutex
+	nextID := 0
+	rounds := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		nextID++
+		id := fmt.Sprintf("s%d", nextID)
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"id": id})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/next", func(w http.ResponseWriter, r *http.Request) {
+		if failNext {
+			w.WriteHeader(500)
+			fmt.Fprint(w, `{"error":"boom"}`)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		id := r.PathValue("id")
+		rounds[id]++
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "round": rounds[id], "seeds": []int32{3}})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"done": rounds[r.PathValue("id")] >= 2})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]bool{"closed": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "asmserve_pool_bytes 1")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunWritesReport(t *testing.T) {
+	ts := fakeServe(t, false)
+	out := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-dataset", "tiny",
+		"-mode", "closed", "-concurrency", "3", "-sessions", "9",
+		"-o", out, "-min-throughput", "0.01", "-max-unexpected", "0",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Experiment != "load" || rep.SessionsCompleted != 9 {
+		t.Errorf("report %+v, want experiment=load completed=9", rep)
+	}
+	if !strings.Contains(stderr.String(), "sessions/sec") {
+		t.Errorf("summary missing from stderr: %s", stderr.String())
+	}
+}
+
+func TestGateFailsOnUnexpectedErrors(t *testing.T) {
+	ts := fakeServe(t, true)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-dataset", "tiny",
+		"-concurrency", "2", "-sessions", "4", "-quiet",
+		"-max-unexpected", "0",
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("gate passed despite injected 500s")
+	}
+	if _, ok := err.(*errGate); !ok {
+		t.Fatalf("err %T (%v), want *errGate", err, err)
+	}
+	if !strings.Contains(err.Error(), "unexpected errors") {
+		t.Errorf("gate error %q does not name the failed gate", err)
+	}
+}
+
+func TestGateFailsOnThroughputFloor(t *testing.T) {
+	ts := fakeServe(t, false)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-dataset", "tiny",
+		"-concurrency", "1", "-sessions", "2", "-quiet",
+		"-min-throughput", "1e12",
+	}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("gate passed an impossible throughput floor")
+	}
+	if _, ok := err.(*errGate); !ok {
+		t.Fatalf("err %T (%v), want *errGate", err, err)
+	}
+}
+
+func TestBadFlagsAreNotGateErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-mode", "bursty", "-sessions", "1"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, ok := err.(*errGate); ok {
+		t.Fatal("setup error classified as a gate failure")
+	}
+}

@@ -101,6 +101,18 @@ func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "asmserve_sessions{phase=%q} %d\n", ph, mt.Phases[ph])
 	}
 
+	fmt.Fprintln(w, "# HELP asmserve_sessions_created_total Sessions created by clients since boot (recovered sessions excluded).")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_created_total counter")
+	fmt.Fprintf(w, "asmserve_sessions_created_total %d\n", mt.Creates)
+	fmt.Fprintln(w, "# HELP asmserve_sessions_closed_total Sessions closed by clients since boot.")
+	fmt.Fprintln(w, "# TYPE asmserve_sessions_closed_total counter")
+	fmt.Fprintf(w, "asmserve_sessions_closed_total %d\n", mt.Closes)
+	fmt.Fprintln(w, "# HELP asmserve_proposals_total Successful seed-batch proposals served since boot (recovery/reactivation replays excluded).")
+	fmt.Fprintln(w, "# TYPE asmserve_proposals_total counter")
+	fmt.Fprintf(w, "asmserve_proposals_total %d\n", mt.Proposals)
+	fmt.Fprintln(w, "# HELP asmserve_observations_total Successful observation commits since boot (recovery/reactivation replays excluded).")
+	fmt.Fprintln(w, "# TYPE asmserve_observations_total counter")
+	fmt.Fprintf(w, "asmserve_observations_total %d\n", mt.Observations)
 	fmt.Fprintln(w, "# HELP asmserve_passivations_total Idle sessions passivated to the write-ahead journal since boot.")
 	fmt.Fprintln(w, "# TYPE asmserve_passivations_total counter")
 	fmt.Fprintf(w, "asmserve_passivations_total %d\n", mt.Passivations)

@@ -28,6 +28,7 @@ func Experiments() []string {
 		"ablation-scaling", "ablation-adaptivity", "ablation-vaswani",
 		"ablation-weighting", "ablation-imsolvers",
 		"parallel-speedup", "serve-throughput", "serve-recovery", "trim",
+		"matrix",
 		"export-ic", "export-lt", "export-csv-ic", "export-csv-lt",
 	}
 }
@@ -153,6 +154,8 @@ func (r *Runner) Run(id string, w io.Writer) error {
 		return r.serveRecovery(w)
 	case "trim":
 		return r.trimReuse(w)
+	case "matrix":
+		return r.matrix(w)
 	case "export-ic", "export-lt":
 		model := diffusion.IC
 		if id == "export-lt" {

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestMatrixGridIsCompleteAndTagged(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(microProfile(), nil)
+	r.BenchDir = dir
+	var buf bytes.Buffer
+	if err := r.Run("matrix", &buf); err != nil {
+		t.Fatalf("matrix: %v\n%s", err, buf.String())
+	}
+
+	blob, err := os.ReadFile(benchPath(dir, "matrix"))
+	if err != nil {
+		t.Fatalf("BENCH_matrix.json missing: %v", err)
+	}
+	var rep MatrixReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Experiment != "matrix" || rep.Profile != "micro" {
+		t.Errorf("header = %q/%q, want matrix/micro", rep.Experiment, rep.Profile)
+	}
+
+	// The grid must be the full factorial: every cell present exactly once.
+	want := rep.Factors.cells()
+	if want == 0 || len(rep.Cells) != want {
+		t.Fatalf("got %d cells, want the full factorial %d", len(rep.Cells), want)
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Cells {
+		key := fmt.Sprintf("%s|%s|%s|%d|%v|%s|%d",
+			c.Dataset, c.Model, c.Policy, c.Workers, c.Reuse, c.Durability, c.SamplerVersion)
+		if seen[key] {
+			t.Errorf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if c.Sessions <= 0 || c.Rounds <= 0 || c.SessionsPerSec <= 0 {
+			t.Errorf("cell %s did no work: %+v", key, c)
+		}
+		if c.MeanSeeds <= 0 || c.MeanSpread < float64(c.Eta) {
+			t.Errorf("cell %s campaign did not clear η: %+v", key, c)
+		}
+		if c.StepP50Ms < 0 || c.StepP99Ms < c.StepP50Ms {
+			t.Errorf("cell %s quantiles out of order: %+v", key, c)
+		}
+	}
+
+	// Every factor level actually appears somewhere.
+	for _, lvl := range []string{"|IC|", "|LT|", "|ASTI|", "|ASTI-4|", "|none|", "|wal|"} {
+		found := false
+		for k := range seen {
+			if strings.Contains(k, lvl) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no cell at factor level %s", lvl)
+		}
+	}
+}
+
+func TestMatrixListedAsExperiment(t *testing.T) {
+	for _, id := range Experiments() {
+		if id == "matrix" {
+			return
+		}
+	}
+	t.Error("\"matrix\" not in Experiments()")
+}

@@ -6,7 +6,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"text/tabwriter"
 	"time"
 
@@ -15,6 +14,7 @@ import (
 	"asti/internal/diffusion"
 	"asti/internal/gen"
 	"asti/internal/graph"
+	"asti/internal/hdr"
 	"asti/internal/rng"
 	"asti/internal/rrset"
 	"asti/internal/trim"
@@ -167,16 +167,11 @@ func (rr *roundRecorder) SelectBatch(st *adaptive.State) ([]int32, error) {
 	return batch, nil
 }
 
-// percentileF returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank
-// on a sorted copy, with the same rank rule as the duration-based
-// percentile in serve.go.
+// percentileF returns the p-quantile (0 ≤ p ≤ 1) of xs on a sorted
+// copy, with the same interpolated (Hyndman–Fan type 7) estimator as
+// the duration-based percentile in serve.go.
 func percentileF(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	return s[rankIndex(len(s), p)]
+	return hdr.QuantileOf(xs, p)
 }
 
 // smallDeltaRun times a scripted campaign on g whose observation after

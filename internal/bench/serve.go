@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"asti/internal/bitset"
 	"asti/internal/diffusion"
 	"asti/internal/gen"
+	"asti/internal/hdr"
 	"asti/internal/rng"
 	"asti/internal/serve"
 )
@@ -89,8 +89,9 @@ func (r *Runner) serveThroughput(w io.Writer) error {
 	secs := wall.Seconds()
 	fmt.Fprintf(w, "completed %d sessions (%d steps) in %.3gs: %.1f sessions/sec, %.1f steps/sec\n",
 		sessions, len(all), secs, float64(sessions)/secs, float64(len(all))/secs)
-	fmt.Fprintf(w, "step latency (NextBatch+Observe): p50 %s  p99 %s  max %s\n",
-		percentile(all, 0.50), percentile(all, 0.99), all[len(all)-1].Round(time.Microsecond))
+	fmt.Fprintf(w, "step latency (NextBatch+Observe): p50 %s  p99 %s  p999 %s  max %s\n",
+		percentile(all, 0.50), percentile(all, 0.99), percentile(all, 0.999),
+		all[len(all)-1].Round(time.Microsecond))
 
 	// Determinism across concurrent sessions: same seed, same
 	// observations → same proposals, regardless of the load above.
@@ -162,23 +163,10 @@ func driveSessionInto(s *serve.Session, φ *diffusion.Realization, seeds *[]int3
 	}
 }
 
-// percentile returns the p-quantile of sorted latencies (nearest-rank).
+// percentile returns the p-quantile of sorted latencies by linear
+// interpolation between order statistics (hdr.QuantileDurations):
+// nearest-rank collapsed every p > 1−1/n onto the maximum, so p99 (and
+// p999) over the small per-experiment samples was just "max".
 func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[rankIndex(len(sorted), p)].Round(time.Microsecond)
-}
-
-// rankIndex is the shared nearest-rank index rule (⌈p·n⌉−1, clamped)
-// behind every percentile the harness reports.
-func rankIndex(n int, p float64) int {
-	idx := int(math.Ceil(p*float64(n))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= n {
-		idx = n - 1
-	}
-	return idx
+	return hdr.QuantileDurations(sorted, p).Round(time.Microsecond)
 }

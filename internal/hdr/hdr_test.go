@@ -1,0 +1,179 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the bucket geometry: every bucket's bounds
+// contain exactly the values that index into it, across the whole
+// range, clamping included.
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<32 - 1} {
+		idx := bucketIndex(v)
+		lo, width := bucketBounds(idx)
+		if v < lo || v >= lo+width {
+			t.Errorf("value %d: bucket %d bounds [%d,%d) do not contain it", v, idx, lo, lo+width)
+		}
+		if float64(width)/float64(lo+1) > 1.0/float64(int(1)<<subBits)+1e-9 && lo >= 1<<(subBits+1) {
+			t.Errorf("bucket %d: width %d exceeds the relative-error bound at lo=%d", idx, width, lo)
+		}
+	}
+	// The clamp: anything at or beyond 2^maxMagnitude µs lands in the
+	// last bucket instead of indexing out of range.
+	if idx := bucketIndex(math.MaxInt64); idx != numBuckets-1 {
+		t.Errorf("MaxInt64 indexes bucket %d, want %d", idx, numBuckets-1)
+	}
+}
+
+// TestHistogramQuantileAccuracy records a known distribution and checks
+// the reported quantiles land within the histogram's relative error.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(7))
+	var samples []float64
+	for i := 0; i < 50000; i++ {
+		// Log-uniform over ~3 decades: 100µs to 100ms.
+		v := 100e-6 * math.Pow(1000, rng.Float64())
+		d := time.Duration(v * float64(time.Second))
+		samples = append(samples, d.Seconds())
+		h.Record(d)
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(p).Seconds()
+		want := Quantile(samples, p)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("p%g: histogram %.6f vs exact %.6f (rel err %.3f)", p*100, got, want, rel)
+		}
+	}
+	if h.Count() != 50000 {
+		t.Errorf("count = %d, want 50000", h.Count())
+	}
+	if h.Max() < h.Quantile(0.999) {
+		t.Errorf("max %v below p999 %v", h.Max(), h.Quantile(0.999))
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (run with -race) and checks nothing is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := New()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() != (workers*per-1)*time.Microsecond {
+		t.Fatalf("max = %v, want %v", h.Max(), (workers*per-1)*time.Microsecond)
+	}
+}
+
+// TestHistogramMerge checks merging equals recording into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := New(), New(), New()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		all.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Max() != all.Max() {
+		t.Fatalf("merge: count/max %d/%v, want %d/%v", a.Count(), a.Max(), all.Count(), all.Max())
+	}
+	for _, p := range []float64{0.5, 0.99} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Errorf("merge: p%g %v, want %v", p*100, a.Quantile(p), all.Quantile(p))
+		}
+	}
+}
+
+// TestQuantileSmallSamples is the regression test for the nearest-rank
+// degeneration this package replaces: on tiny samples, high quantiles
+// must interpolate between order statistics, not collapse onto the max.
+func TestQuantileSmallSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 3.25},
+		{0.5, 5.5},
+		{0.75, 7.75},
+		{0.9, 9.1},
+		{0.99, 9.91}, // nearest-rank reported 10 — the max — for every p > 0.9
+		{0.999, 9.991},
+		{1, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(1..10, %g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Degenerate sizes.
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty: %g, want 0", got)
+	}
+	if got := Quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("singleton: %g, want 42", got)
+	}
+	if got := Quantile([]float64{1, 3}, 0.5); got != 2 {
+		t.Errorf("pair median: %g, want 2", got)
+	}
+	// Monotone in p.
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := Quantile(xs, p)
+		if q < prev {
+			t.Fatalf("not monotone at p=%g: %g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+// TestQuantileDurations mirrors the float behavior on durations.
+func TestQuantileDurations(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 10; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	if got, want := QuantileDurations(ds, 0.99), 9910*time.Microsecond; got != want {
+		t.Errorf("p99 = %v, want %v", got, want)
+	}
+	if got := QuantileDurations(nil, 0.5); got != 0 {
+		t.Errorf("empty: %v, want 0", got)
+	}
+	if got, want := QuantileDurations(ds[:1], 0.999), time.Millisecond; got != want {
+		t.Errorf("singleton: %v, want %v", got, want)
+	}
+}
+
+// TestQuantileOf checks the sorting wrapper leaves its input alone.
+func TestQuantileOf(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := QuantileOf(xs, 0.5); got != 3 {
+		t.Errorf("median = %g, want 3", got)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

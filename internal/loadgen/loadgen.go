@@ -1,0 +1,610 @@
+// Package loadgen is the concurrent load generator behind cmd/asmload:
+// it drives many adaptive-seeding campaigns against a live asmserve
+// instance over the real HTTP wire, in an open- or closed-loop arrival
+// model, and measures what a client fleet would experience — per-step
+// latency quantiles (HDR-histogram recorded, interpolated), session
+// throughput, and the exact error-by-status census. Retryable
+// rejections (429, 503) are honored via their Retry-After header, like
+// a well-behaved client; everything else non-2xx is an *unexpected*
+// error, separately counted, because under any load the server contract
+// allows only "yes" or "back off".
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asti/internal/hdr"
+)
+
+// Mode selects the arrival model.
+const (
+	// ModeClosed runs a fixed fleet of concurrent clients, each driving
+	// one campaign to completion before starting the next: offered load
+	// adapts to server latency (classic closed loop).
+	ModeClosed = "closed"
+	// ModeOpen starts campaigns at a fixed arrival rate regardless of
+	// how many are still in flight: offered load is constant, so queueing
+	// delay shows up as latency instead of reduced throughput.
+	ModeOpen = "open"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the asmserve root, e.g. "http://127.0.0.1:8080".
+	BaseURL string `json:"base_url"`
+	// Mode is ModeClosed or ModeOpen.
+	Mode string `json:"mode"`
+	// Concurrency is the client-fleet size in closed-loop mode.
+	Concurrency int `json:"concurrency,omitempty"`
+	// Rate is the open-loop arrival rate in sessions/second.
+	Rate float64 `json:"rate,omitempty"`
+	// Sessions bounds the total campaigns started (0 = unbounded, run
+	// until Duration).
+	Sessions int `json:"sessions,omitempty"`
+	// Duration bounds the run's wall clock (0 = run until Sessions
+	// campaigns have completed; at least one bound must be set).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Warmup discards measurements for this long after start: latency
+	// and throughput are reported for the measurement window only.
+	Warmup time.Duration `json:"warmup,omitempty"`
+	// ThinkTime sleeps between a campaign's rounds, modelling the real
+	// deployment where a wave takes time to diffuse before observation.
+	ThinkTime time.Duration `json:"think_time,omitempty"`
+	// MaxRounds caps each campaign's select–observe rounds (0 = drive
+	// to η, which for small ε takes ~η rounds).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Churn is the per-round probability that a campaign goes dormant
+	// for ChurnPause before continuing — long enough pauses (relative
+	// to the server's -idle-ttl) force passivation/reactivation churn
+	// under load.
+	Churn float64 `json:"churn,omitempty"`
+	// ChurnPause is how long a churned campaign sleeps.
+	ChurnPause time.Duration `json:"churn_pause,omitempty"`
+
+	// Campaign shape, passed through to the create request.
+	Dataset        string  `json:"dataset"`
+	Policy         string  `json:"policy,omitempty"`
+	Model          string  `json:"model,omitempty"`
+	Eta            int64   `json:"eta,omitempty"`
+	EtaFrac        float64 `json:"eta_frac,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	SamplerVersion int     `json:"sampler_version,omitempty"`
+	// Seed bases each campaign's server-side sampling seed (campaign i
+	// uses Seed+i) and the client-side churn coin.
+	Seed uint64 `json:"seed"`
+
+	// RetryBudget bounds attempts for a retryable rejection (default 8).
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// MaxRetryWait caps how long a Retry-After hint is honored for
+	// (default 2s; the header's larger values would stall a bounded
+	// bench run).
+	MaxRetryWait time.Duration `json:"max_retry_wait,omitempty"`
+	// Timeout is the per-request HTTP timeout (default 30s).
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.BaseURL == "" {
+		return cfg, errors.New("loadgen: BaseURL required")
+	}
+	if cfg.Dataset == "" {
+		return cfg, errors.New("loadgen: Dataset required")
+	}
+	switch cfg.Mode {
+	case "", ModeClosed:
+		cfg.Mode = ModeClosed
+		if cfg.Concurrency <= 0 {
+			cfg.Concurrency = 1
+		}
+	case ModeOpen:
+		if cfg.Rate <= 0 {
+			return cfg, errors.New("loadgen: open-loop mode needs Rate > 0")
+		}
+		if cfg.Duration <= 0 {
+			return cfg, errors.New("loadgen: open-loop mode needs Duration > 0")
+		}
+	default:
+		return cfg, fmt.Errorf("loadgen: unknown mode %q (closed or open)", cfg.Mode)
+	}
+	if cfg.Sessions <= 0 && cfg.Duration <= 0 {
+		return cfg, errors.New("loadgen: set Sessions or Duration (or both)")
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 8
+	}
+	if cfg.MaxRetryWait <= 0 {
+		cfg.MaxRetryWait = 2 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.EtaFrac == 0 && cfg.Eta == 0 {
+		cfg.EtaFrac = 0.05
+	}
+	return cfg, nil
+}
+
+// LatencySummary reports one step's latency distribution over the
+// measurement window, in milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func summarize(h *hdr.Histogram) LatencySummary {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+	}
+}
+
+// Report is the machine-readable outcome of one load run, written to
+// BENCH_load.json by cmd/asmload.
+type Report struct {
+	Experiment string `json:"experiment"`
+	Config     Config `json:"config"`
+
+	// WallSeconds is the whole run, MeasuredSeconds the post-warmup
+	// window the rates and latencies are computed over.
+	WallSeconds     float64 `json:"wall_seconds"`
+	MeasuredSeconds float64 `json:"measured_seconds"`
+
+	SessionsStarted   uint64 `json:"sessions_started"`
+	SessionsCompleted uint64 `json:"sessions_completed"`
+	SessionsAborted   uint64 `json:"sessions_aborted"`
+	Rounds            uint64 `json:"rounds"`
+
+	// SessionsPerSec counts campaign completions in the measurement
+	// window; StepsPerSec counts next+observe steps.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+
+	// Steps holds per-operation latency summaries, keyed create / next /
+	// observe / delete.
+	Steps map[string]LatencySummary `json:"steps"`
+
+	// Retries counts honored retryable rejections by status ("429",
+	// "503"); RetriesExhausted the campaigns abandoned after the retry
+	// budget.
+	Retries          map[string]uint64 `json:"retries"`
+	RetriesExhausted uint64            `json:"retries_exhausted"`
+
+	// Errors counts unexpected failures by HTTP status (or "transport"
+	// for connection-level ones). A clean run has an empty map: every
+	// non-2xx other than a Retry-After'd 429/503 is a contract breach.
+	Errors map[string]uint64 `json:"errors"`
+
+	// Server is the server-side view scraped from /metrics and /healthz
+	// (nil when scraping failed).
+	Server *ServerSample `json:"server,omitempty"`
+}
+
+// UnexpectedErrors sums the by-status unexpected error counts.
+func (r *Report) UnexpectedErrors() uint64 {
+	var n uint64
+	for _, c := range r.Errors {
+		n += c
+	}
+	return n
+}
+
+// recorder accumulates the measurement-window observations, safely for
+// thousands of concurrent campaign goroutines.
+type recorder struct {
+	warmupEnd time.Time
+
+	create, next, observe, del *hdr.Histogram
+
+	started   atomic.Uint64
+	completed atomic.Uint64 // completions after warmupEnd
+	aborted   atomic.Uint64
+	rounds    atomic.Uint64 // next+observe pairs after warmupEnd
+	steps     atomic.Uint64 // measured step count (throughput numerator)
+	exhausted atomic.Uint64
+
+	mu      sync.Mutex
+	retries map[string]uint64
+	errors  map[string]uint64
+}
+
+func newRecorder(warmupEnd time.Time) *recorder {
+	return &recorder{
+		warmupEnd: warmupEnd,
+		create:    hdr.New(),
+		next:      hdr.New(),
+		observe:   hdr.New(),
+		del:       hdr.New(),
+		retries:   map[string]uint64{},
+		errors:    map[string]uint64{},
+	}
+}
+
+func (r *recorder) hist(op string) *hdr.Histogram {
+	switch op {
+	case "create":
+		return r.create
+	case "next":
+		return r.next
+	case "observe":
+		return r.observe
+	case "delete":
+		return r.del
+	}
+	panic("loadgen: unknown op " + op)
+}
+
+// record stores one measured step latency if the sample began after the
+// warmup window closed.
+func (r *recorder) record(op string, begin time.Time, d time.Duration) {
+	if begin.Before(r.warmupEnd) {
+		return
+	}
+	r.hist(op).Record(d)
+	r.steps.Add(1)
+}
+
+func (r *recorder) noteRetry(status int) {
+	r.mu.Lock()
+	r.retries[strconv.Itoa(status)]++
+	r.mu.Unlock()
+}
+
+func (r *recorder) noteError(key string) {
+	r.mu.Lock()
+	r.errors[key]++
+	r.mu.Unlock()
+}
+
+// client wraps the HTTP transport tuned for a large fleet: without a
+// matching idle-connection pool, a 1k-worker closed loop would thrash
+// TIME_WAIT sockets and measure the OS, not the server.
+type client struct {
+	http *http.Client
+	base string
+	rec  *recorder
+	cfg  Config
+}
+
+func newClient(cfg Config) *client {
+	conns := cfg.Concurrency + 64
+	tr := &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &client{
+		http: &http.Client{Transport: tr, Timeout: cfg.Timeout},
+		base: cfg.BaseURL,
+		cfg:  cfg,
+	}
+}
+
+// errRetryable marks a 429/503 that carried a Retry-After hint.
+type errRetryable struct {
+	status int
+	wait   time.Duration
+}
+
+func (e *errRetryable) Error() string {
+	return fmt.Sprintf("retryable %d (retry after %v)", e.status, e.wait)
+}
+
+// errAbort marks an unexpected response already counted by the caller.
+var errAbort = errors.New("loadgen: campaign aborted")
+
+// step issues one measured request. 2xx decodes into out and returns
+// nil. A 429/503 with Retry-After returns errRetryable (not counted as
+// an error). Anything else counts an unexpected error and returns
+// errAbort.
+func (c *client) step(ctx context.Context, op, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	begin := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		c.rec.noteError("transport")
+		return errAbort
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(begin)
+	if resp.StatusCode/100 == 2 {
+		c.rec.record(op, begin, elapsed)
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				c.rec.noteError("decode")
+				return errAbort
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			wait := time.Duration(secs) * time.Second
+			if wait > c.cfg.MaxRetryWait {
+				wait = c.cfg.MaxRetryWait
+			}
+			return &errRetryable{status: resp.StatusCode, wait: wait}
+		}
+	}
+	c.rec.noteError(strconv.Itoa(resp.StatusCode))
+	return errAbort
+}
+
+// retryingStep runs step, honoring Retry-After up to the retry budget.
+func (c *client) retryingStep(ctx context.Context, op, method, path string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.step(ctx, op, method, path, body, out)
+		var retry *errRetryable
+		if !errors.As(err, &retry) {
+			return err
+		}
+		if attempt+1 >= c.cfg.RetryBudget {
+			c.rec.exhausted.Add(1)
+			return errAbort
+		}
+		c.rec.noteRetry(retry.status)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(retry.wait):
+		}
+	}
+}
+
+// Wire shapes (the client's minimal view of docs/API.md).
+type createReq struct {
+	Dataset        string  `json:"dataset"`
+	Policy         string  `json:"policy,omitempty"`
+	Model          string  `json:"model,omitempty"`
+	Eta            int64   `json:"eta,omitempty"`
+	EtaFrac        float64 `json:"eta_frac,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	SamplerVersion int     `json:"sampler_version,omitempty"`
+	Seed           uint64  `json:"seed"`
+}
+
+type createResp struct {
+	ID string `json:"id"`
+}
+
+type batchResp struct {
+	Round int     `json:"round"`
+	Seeds []int32 `json:"seeds"`
+}
+
+type observeReq struct {
+	Activated []int32 `json:"activated"`
+}
+
+type progressResp struct {
+	Done bool `json:"done"`
+}
+
+// campaign drives one session start-to-finish: create (with backoff),
+// MaxRounds select–observe rounds with think-time and churn pauses, then
+// delete. The observation echoes the proposed seeds — the pessimistic
+// world where nobody relays the message, which maximizes rounds per
+// campaign and so stresses the server hardest.
+func (c *client) campaign(ctx context.Context, i int, deadline time.Time) {
+	c.rec.started.Add(1)
+	rnd := rand.New(rand.NewSource(int64(c.cfg.Seed) + int64(i)))
+	var created createResp
+	err := c.retryingStep(ctx, "create", "POST", "/v1/sessions", createReq{
+		Dataset:        c.cfg.Dataset,
+		Policy:         c.cfg.Policy,
+		Model:          c.cfg.Model,
+		Eta:            c.cfg.Eta,
+		EtaFrac:        c.cfg.EtaFrac,
+		Epsilon:        c.cfg.Epsilon,
+		Workers:        c.cfg.Workers,
+		SamplerVersion: c.cfg.SamplerVersion,
+		Seed:           c.cfg.Seed + uint64(i),
+	}, &created)
+	if err != nil {
+		c.rec.aborted.Add(1)
+		return
+	}
+	base := "/v1/sessions/" + created.ID
+	roundBegin := time.Now()
+	for round := 0; c.cfg.MaxRounds == 0 || round < c.cfg.MaxRounds; round++ {
+		if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		var batch batchResp
+		if err := c.retryingStep(ctx, "next", "POST", base+"/next", nil, &batch); err != nil {
+			c.rec.aborted.Add(1)
+			return
+		}
+		if c.cfg.ThinkTime > 0 {
+			sleepCtx(ctx, c.cfg.ThinkTime)
+		}
+		if c.cfg.Churn > 0 && rnd.Float64() < c.cfg.Churn {
+			sleepCtx(ctx, c.cfg.ChurnPause)
+		}
+		var prog progressResp
+		if err := c.retryingStep(ctx, "observe", "POST", base+"/observe",
+			observeReq{Activated: batch.Seeds}, &prog); err != nil {
+			c.rec.aborted.Add(1)
+			return
+		}
+		if !roundBegin.Before(c.rec.warmupEnd) {
+			c.rec.rounds.Add(1)
+		}
+		roundBegin = time.Now()
+		if prog.Done {
+			break
+		}
+	}
+	if err := c.retryingStep(ctx, "delete", "DELETE", base, nil, nil); err != nil {
+		c.rec.aborted.Add(1)
+		return
+	}
+	if !time.Now().Before(c.rec.warmupEnd) {
+		c.rec.completed.Add(1)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// Run executes one load run and assembles the report. It honors ctx for
+// early cancellation; cancelled runs still report what they measured.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rec := newRecorder(start.Add(cfg.Warmup))
+	c := newClient(cfg)
+	c.rec = rec
+
+	var deadline time.Time
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Warmup + cfg.Duration)
+		runCtx, cancel = context.WithDeadline(ctx, deadline.Add(cfg.Timeout))
+		defer cancel()
+	}
+
+	// Peak-memory monitor: scrape the server while the load runs.
+	mon := newMonitor(c.http, cfg.BaseURL)
+	monCtx, monCancel := context.WithCancel(ctx)
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		mon.run(monCtx)
+	}()
+
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case ModeClosed:
+		var nextIdx atomic.Int64
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if runCtx.Err() != nil {
+						return
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						return
+					}
+					i := int(nextIdx.Add(1)) - 1
+					if cfg.Sessions > 0 && i >= cfg.Sessions {
+						return
+					}
+					c.campaign(runCtx, i, deadline)
+				}
+			}()
+		}
+	case ModeOpen:
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		ticker := time.NewTicker(interval)
+		i := 0
+	arrivals:
+		for {
+			select {
+			case <-runCtx.Done():
+				break arrivals
+			case <-ticker.C:
+				if time.Now().After(deadline) {
+					break arrivals
+				}
+				if cfg.Sessions > 0 && i >= cfg.Sessions {
+					break arrivals
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c.campaign(runCtx, i, deadline)
+				}(i)
+				i++
+			}
+		}
+		ticker.Stop()
+	}
+	wg.Wait()
+	end := time.Now()
+	monCancel()
+	monWG.Wait()
+
+	measured := end.Sub(rec.warmupEnd).Seconds()
+	if measured <= 0 {
+		measured = end.Sub(start).Seconds() // warmup swallowed the run
+	}
+	rep := &Report{
+		Experiment:      "load",
+		Config:          cfg,
+		WallSeconds:     end.Sub(start).Seconds(),
+		MeasuredSeconds: measured,
+		SessionsStarted: rec.started.Load(),
+		SessionsAborted: rec.aborted.Load(),
+		Rounds:          rec.rounds.Load(),
+		Steps: map[string]LatencySummary{
+			"create":  summarize(rec.create),
+			"next":    summarize(rec.next),
+			"observe": summarize(rec.observe),
+			"delete":  summarize(rec.del),
+		},
+		Retries:          rec.retries,
+		RetriesExhausted: rec.exhausted.Load(),
+		Errors:           rec.errors,
+	}
+	rep.SessionsCompleted = rec.completed.Load()
+	rep.SessionsPerSec = float64(rep.SessionsCompleted) / measured
+	rep.StepsPerSec = float64(rec.steps.Load()) / measured
+	rep.Server = mon.sample(c.http, cfg.BaseURL)
+	return rep, nil
+}

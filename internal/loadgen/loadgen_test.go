@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeServer speaks just enough of the asmserve wire protocol to unit
+// test the generator's loop mechanics — arrival modes, Retry-After
+// honoring, abort-on-unexpected, warmup windowing — without the cost of
+// a real policy engine. The real-wire coverage lives in cmd/asmserve's
+// conformance tests and the CI load smoke.
+type fakeServer struct {
+	ts *httptest.Server
+
+	mu        sync.Mutex
+	nextID    int
+	rounds    map[string]int
+	doneAfter int // observe reports done after this many rounds
+
+	rejectCreates int    // reject this many creates first...
+	rejectStatus  int    // ...with this status...
+	retryAfter    string // ...and this Retry-After header
+
+	failNext int // status to fail /next with (0 = succeed)
+
+	creates, deletes, nexts, observes int
+}
+
+func newFakeServer(t *testing.T) *fakeServer {
+	f := &fakeServer{rounds: map[string]int{}, doneAfter: 3}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.rejectCreates > 0 {
+			f.rejectCreates--
+			if f.retryAfter != "" {
+				w.Header().Set("Retry-After", f.retryAfter)
+			}
+			w.WriteHeader(f.rejectStatus)
+			fmt.Fprintf(w, `{"error":"rejected"}`)
+			return
+		}
+		f.nextID++
+		f.creates++
+		id := fmt.Sprintf("s%d", f.nextID)
+		f.rounds[id] = 0
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "phase": "propose"})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/next", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.failNext != 0 {
+			w.WriteHeader(f.failNext)
+			fmt.Fprintf(w, `{"error":"injected"}`)
+			return
+		}
+		id := r.PathValue("id")
+		f.rounds[id]++
+		f.nexts++
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "round": f.rounds[id], "seeds": []int32{7}})
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		id := r.PathValue("id")
+		f.observes++
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "round": f.rounds[id], "done": f.rounds[id] >= f.doneAfter})
+	})
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.deletes++
+		json.NewEncoder(w).Encode(map[string]bool{"closed": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		fmt.Fprintf(w, "asmserve_sessions_created_total %d\n", f.creates)
+		fmt.Fprintf(w, "asmserve_sessions_closed_total %d\n", f.deletes)
+		fmt.Fprintf(w, "asmserve_proposals_total %d\n", f.nexts)
+		fmt.Fprintf(w, "asmserve_observations_total %d\n", f.observes)
+		fmt.Fprintln(w, "asmserve_pool_bytes 4096")
+		fmt.Fprintln(w, "asmserve_journal_bytes 512")
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func TestClosedLoopDrivesAllSessions(t *testing.T) {
+	f := newFakeServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 4,
+		Sessions:    12,
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsStarted != 12 || rep.SessionsCompleted != 12 || rep.SessionsAborted != 0 {
+		t.Fatalf("sessions started/completed/aborted = %d/%d/%d, want 12/12/0",
+			rep.SessionsStarted, rep.SessionsCompleted, rep.SessionsAborted)
+	}
+	if len(rep.Errors) != 0 {
+		t.Errorf("unexpected errors: %v", rep.Errors)
+	}
+	// doneAfter=3 → exactly 3 rounds per campaign.
+	if rep.Rounds != 36 {
+		t.Errorf("rounds = %d, want 36", rep.Rounds)
+	}
+	for op, want := range map[string]uint64{"create": 12, "next": 36, "observe": 36, "delete": 12} {
+		if got := rep.Steps[op].Count; got != want {
+			t.Errorf("steps[%s].Count = %d, want %d", op, got, want)
+		}
+	}
+	if rep.SessionsPerSec <= 0 || rep.StepsPerSec <= 0 {
+		t.Errorf("rates not positive: %+v", rep)
+	}
+	for op, s := range rep.Steps {
+		if s.P50Ms > s.P99Ms || s.P99Ms > s.P999Ms || s.P999Ms > s.MaxMs {
+			t.Errorf("steps[%s] quantiles out of order: %+v", op, s)
+		}
+	}
+	if rep.Server == nil {
+		t.Fatal("server sample missing")
+	}
+	if rep.Server.CreatedTotal != 12 || rep.Server.ProposalsTotal != 36 {
+		t.Errorf("server sample %+v, want created=12 proposals=36", rep.Server)
+	}
+	if rep.Server.PeakPoolBytes != 4096 {
+		t.Errorf("peak pool bytes = %g, want 4096", rep.Server.PeakPoolBytes)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	f := newFakeServer(t)
+	f.rejectCreates = 2
+	f.rejectStatus = http.StatusTooManyRequests
+	f.retryAfter = "0"
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 1,
+		Sessions:    3,
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries["429"] != 2 {
+		t.Errorf("retries[429] = %d, want 2", rep.Retries["429"])
+	}
+	if rep.SessionsCompleted != 3 || len(rep.Errors) != 0 {
+		t.Errorf("completed=%d errors=%v, want 3 completions and no errors",
+			rep.SessionsCompleted, rep.Errors)
+	}
+}
+
+func TestRetryableWithoutRetryAfterIsAnError(t *testing.T) {
+	f := newFakeServer(t)
+	f.rejectCreates = 1
+	f.rejectStatus = http.StatusServiceUnavailable
+	f.retryAfter = "" // contract breach: 503 must carry Retry-After
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 1,
+		Sessions:    2,
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors["503"] != 1 {
+		t.Errorf("errors = %v, want a counted 503", rep.Errors)
+	}
+	if rep.SessionsAborted != 1 {
+		t.Errorf("aborted = %d, want 1", rep.SessionsAborted)
+	}
+}
+
+func TestUnexpectedErrorAbortsCampaign(t *testing.T) {
+	f := newFakeServer(t)
+	f.failNext = http.StatusInternalServerError
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 2,
+		Sessions:    4,
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors["500"] != 4 {
+		t.Errorf("errors = %v, want four 500s", rep.Errors)
+	}
+	if rep.SessionsAborted != 4 || rep.SessionsCompleted != 0 {
+		t.Errorf("aborted/completed = %d/%d, want 4/0", rep.SessionsAborted, rep.SessionsCompleted)
+	}
+	if rep.UnexpectedErrors() != 4 {
+		t.Errorf("UnexpectedErrors() = %d, want 4", rep.UnexpectedErrors())
+	}
+}
+
+func TestOpenLoopArrivals(t *testing.T) {
+	f := newFakeServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  f.ts.URL,
+		Mode:     ModeOpen,
+		Rate:     200,
+		Duration: 150 * time.Millisecond,
+		Dataset:  "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsStarted == 0 {
+		t.Fatal("open loop started no sessions")
+	}
+	if rep.SessionsCompleted == 0 || len(rep.Errors) != 0 {
+		t.Errorf("completed=%d errors=%v", rep.SessionsCompleted, rep.Errors)
+	}
+	// ~200/s over 150ms ≈ 30 arrivals; allow wide slack for CI jitter,
+	// but the count must be in the ballpark of the configured rate.
+	if rep.SessionsStarted < 10 || rep.SessionsStarted > 40 {
+		t.Errorf("open-loop arrivals = %d, want roughly 30", rep.SessionsStarted)
+	}
+}
+
+func TestWarmupExcludesMeasurements(t *testing.T) {
+	f := newFakeServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 2,
+		Sessions:    6,
+		Warmup:      time.Hour, // the whole run is warmup
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsStarted != 6 || rep.SessionsAborted != 0 {
+		t.Fatalf("started/aborted = %d/%d, want 6/0", rep.SessionsStarted, rep.SessionsAborted)
+	}
+	if rep.SessionsCompleted != 0 || rep.Rounds != 0 {
+		t.Errorf("completed=%d rounds=%d, want 0/0 inside the warmup window",
+			rep.SessionsCompleted, rep.Rounds)
+	}
+	for op, s := range rep.Steps {
+		if s.Count != 0 {
+			t.Errorf("steps[%s].Count = %d, want 0 inside warmup", op, s.Count)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no base url", Config{Dataset: "d", Sessions: 1}, "BaseURL"},
+		{"no dataset", Config{BaseURL: "http://x", Sessions: 1}, "Dataset"},
+		{"bad mode", Config{BaseURL: "http://x", Dataset: "d", Mode: "bursty", Sessions: 1}, "unknown mode"},
+		{"open loop without rate", Config{BaseURL: "http://x", Dataset: "d", Mode: ModeOpen, Duration: time.Second}, "Rate"},
+		{"open loop without duration", Config{BaseURL: "http://x", Dataset: "d", Mode: ModeOpen, Rate: 1}, "Duration"},
+		{"no bound", Config{BaseURL: "http://x", Dataset: "d"}, "Sessions or Duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(context.Background(), tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestChurnPausesCampaigns(t *testing.T) {
+	f := newFakeServer(t)
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     f.ts.URL,
+		Mode:        ModeClosed,
+		Concurrency: 2,
+		Sessions:    4,
+		Churn:       1.0, // every round pauses
+		ChurnPause:  30 * time.Millisecond,
+		Dataset:     "tiny",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 campaigns × 3 rounds × 30ms pause over 2 workers ≥ 180ms.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("run finished in %v: churn pauses not applied", elapsed)
+	}
+	if rep.SessionsCompleted != 4 || len(rep.Errors) != 0 {
+		t.Errorf("completed=%d errors=%v", rep.SessionsCompleted, rep.Errors)
+	}
+}

@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServerSample is the server's own view of the run, scraped from
+// /metrics after the load drains: the throughput counters a generator
+// cross-checks its client-side numbers against, and the memory gauges
+// that tell whether the session table (not the network) is the binding
+// resource. PeakPoolBytes is the largest pool gauge seen by the
+// once-a-second monitor while the load ran — the final scrape alone
+// would miss the high-water mark, since completed campaigns free their
+// pools.
+type ServerSample struct {
+	CreatedTotal       float64 `json:"created_total"`
+	ClosedTotal        float64 `json:"closed_total"`
+	ProposalsTotal     float64 `json:"proposals_total"`
+	ObservationsTotal  float64 `json:"observations_total"`
+	PassivationsTotal  float64 `json:"passivations_total"`
+	ReactivationsTotal float64 `json:"reactivations_total"`
+	PoolBytes          float64 `json:"pool_bytes"`
+	JournalBytes       float64 `json:"journal_bytes"`
+	PeakPoolBytes      float64 `json:"peak_pool_bytes"`
+	PeakJournalBytes   float64 `json:"peak_journal_bytes"`
+}
+
+// scrapeMetrics fetches /metrics and returns the wanted plain (unlabeled)
+// families as name → value. Failures return nil: load generation must
+// not die because monitoring hiccuped.
+func scrapeMetrics(hc *http.Client, base string) map[string]float64 {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valueStr, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		if v, err := strconv.ParseFloat(valueStr, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// monitor polls /metrics while the load runs, tracking gauge peaks.
+type monitor struct {
+	hc   *http.Client
+	base string
+
+	mu       sync.Mutex
+	peakPool float64
+	peakWAL  float64
+	sawAny   bool
+}
+
+func newMonitor(hc *http.Client, base string) *monitor {
+	return &monitor{hc: hc, base: base}
+}
+
+func (m *monitor) run(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		m.observe(scrapeMetrics(m.hc, m.base))
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (m *monitor) observe(vals map[string]float64) {
+	if vals == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sawAny = true
+	if v := vals["asmserve_pool_bytes"]; v > m.peakPool {
+		m.peakPool = v
+	}
+	if v := vals["asmserve_journal_bytes"]; v > m.peakWAL {
+		m.peakWAL = v
+	}
+}
+
+// sample takes the final scrape and folds in the observed peaks. It
+// returns nil when the server was never reachable for scraping (e.g.
+// the target is not asmserve).
+func (m *monitor) sample(hc *http.Client, base string) *ServerSample {
+	vals := scrapeMetrics(hc, base)
+	m.observe(vals)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.sawAny {
+		return nil
+	}
+	s := &ServerSample{PeakPoolBytes: m.peakPool, PeakJournalBytes: m.peakWAL}
+	if vals != nil {
+		s.CreatedTotal = vals["asmserve_sessions_created_total"]
+		s.ClosedTotal = vals["asmserve_sessions_closed_total"]
+		s.ProposalsTotal = vals["asmserve_proposals_total"]
+		s.ObservationsTotal = vals["asmserve_observations_total"]
+		s.PassivationsTotal = vals["asmserve_passivations_total"]
+		s.ReactivationsTotal = vals["asmserve_reactivations_total"]
+		s.PoolBytes = vals["asmserve_pool_bytes"]
+		s.JournalBytes = vals["asmserve_journal_bytes"]
+	}
+	return s
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asti/internal/adaptive"
@@ -182,6 +183,17 @@ type Manager struct {
 	compactions    uint64
 	compactedBytes uint64
 	ckptRestores   uint64
+
+	// Load-facing throughput counters (atomic, not mu-guarded: proposals
+	// and observations are counted from inside Session calls that hold
+	// the session lock, never the manager lock). They count
+	// client-visible successes — what a load generator sees as completed
+	// work — so sessions/sec and steps/sec can be cross-checked
+	// server-side under load.
+	creates      atomic.Uint64
+	closes       atomic.Uint64
+	proposals    atomic.Uint64
+	observations atomic.Uint64
 
 	// reactMu guards reactInflight: one replay per session id at a time
 	// (concurrent lookups of one passivated session wait for the winner
@@ -561,6 +573,7 @@ func (m *Manager) Create(cfg Config) (*Session, error) {
 	m.creating--
 	m.sessions[s.id] = s
 	m.mu.Unlock()
+	m.creates.Add(1)
 	return s, nil
 }
 
@@ -865,6 +878,7 @@ func (m *Manager) Close(id string) error {
 		// Recover — the close itself succeeded and must report success.
 		_ = st.Remove(id)
 	}
+	m.closes.Add(1)
 	return nil
 }
 
@@ -926,6 +940,14 @@ type Stats struct {
 	// final failures, disk-full episodes, writer reopens); zero-valued on
 	// an unjournaled manager.
 	Journal journal.StoreMetrics
+	// Creates / Closes / Proposals / Observations count client-visible
+	// successes since the manager was built (recovery and reactivation
+	// replays are excluded): the server-side throughput a load generator
+	// cross-checks its own numbers against.
+	Creates      uint64
+	Closes       uint64
+	Proposals    uint64
+	Observations uint64
 }
 
 // Stats returns the manager's O(1) lifecycle counters.
@@ -945,6 +967,10 @@ func (m *Manager) Stats() Stats {
 		EmergencyCompactions: m.emergencyCompactions,
 		JournalHealthy:       m.breakerUntil.IsZero() || !time.Now().Before(m.breakerUntil),
 		BreakerTrips:         m.breakerTrips,
+		Creates:              m.creates.Load(),
+		Closes:               m.closes.Load(),
+		Proposals:            m.proposals.Load(),
+		Observations:         m.observations.Load(),
 	}
 	if m.journal != nil {
 		st.Journal = m.journal.Metrics()
@@ -1007,6 +1033,13 @@ type Metrics struct {
 	// (0 for an unjournaled manager). With compaction on it stays bounded
 	// by the checkpoint interval instead of growing with campaign length.
 	JournalBytes int64
+	// Creates / Closes / Proposals / Observations count client-visible
+	// successes since the manager was built (replays excluded) — the
+	// server-side readout a load generator checks its throughput against.
+	Creates      uint64
+	Closes       uint64
+	Proposals    uint64
+	Observations uint64
 }
 
 // Metrics snapshots the manager for monitoring. It walks every session
@@ -1032,6 +1065,10 @@ func (m *Manager) Metrics() Metrics {
 		EmergencyCompactions: m.emergencyCompactions,
 		JournalHealthy:       m.breakerUntil.IsZero() || !time.Now().Before(m.breakerUntil),
 		BreakerTrips:         m.breakerTrips,
+		Creates:              m.creates.Load(),
+		Closes:               m.closes.Load(),
+		Proposals:            m.proposals.Load(),
+		Observations:         m.observations.Load(),
 	}
 	m.mu.Unlock()
 	if st != nil {

@@ -265,6 +265,10 @@ func (m *Manager) rebuildFromCheckpoint(cfg Config, recs []journal.Record, idx i
 // the journaled one (the determinism contract makes the journal a
 // checksum of the environment: same dataset, same binary → same batches).
 func replay(s *Session, recs []journal.Record) (rounds int, err error) {
+	// Replayed transitions are reconstructions, not client work: keep
+	// them out of the manager's load-facing throughput counters.
+	s.replaying = true
+	defer func() { s.replaying = false }()
 	for _, rec := range recs {
 		switch rec.Type {
 		case journal.TypeProposed:

@@ -99,6 +99,7 @@ type Session struct {
 	jw         *journal.Writer // nil for in-memory sessions (and during replay)
 	store      *journal.Store  // set with jw; lets a passivated close reopen its log
 	mgr        *Manager        // owning manager (nil for NewSession-built sessions)
+	replaying  bool            // true while recovery/reactivation re-executes the log (suppresses the manager's load counters)
 
 	phase    Phase
 	round    int
@@ -270,6 +271,9 @@ func (s *Session) Propose() (Proposal, error) {
 	s.phase = PhaseObserve
 	out := make([]int32, len(batch))
 	copy(out, batch)
+	if s.mgr != nil && !s.replaying {
+		s.mgr.proposals.Add(1)
+	}
 	return Proposal{Round: s.round, Seeds: out}, nil
 }
 
@@ -371,6 +375,9 @@ func (s *Session) Observe(activated []int32) (Progress, error) {
 			// is nil and the session continues non-durably.
 			return Progress{}, err
 		}
+	}
+	if s.mgr != nil && !s.replaying {
+		s.mgr.observations.Add(1)
 	}
 	return s.progressLocked(newly), nil
 }
