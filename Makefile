@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make lint` is the pre-push gate.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet asmvet staticcheck
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rrset/ ./internal/trim/ ./internal/adaptive/ ./internal/serve/ ./internal/journal/ ./cmd/asmserve/
+
+# lint = everything that must be clean before a push: formatting,
+# go vet, and the project analyzer suite (docs/ANALYSIS.md).
+lint: fmt vet asmvet
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+asmvet:
+	$(GO) run ./cmd/asmvet ./...
+
+# Third-party layer; CI pins versions (see the static-analysis job).
+# Locally this uses whatever staticcheck is on PATH, if any.
+staticcheck:
+	@command -v staticcheck >/dev/null || { echo "staticcheck not installed (CI runs the pinned copy)"; exit 1; }
+	staticcheck ./...

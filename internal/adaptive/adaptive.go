@@ -131,8 +131,10 @@ func Run(g *graph.Graph, model diffusion.Model, eta int64, policy Policy, φ *di
 	for st.EtaI() > 0 {
 		st.Round++
 		niBefore, etaIBefore := st.Ni(), st.EtaI()
+		//asm:nondet-ok wall-clock timing statistic only; Duration never feeds seed selection or the rng
 		t0 := time.Now()
 		batch, err := policy.SelectBatch(st)
+		//asm:nondet-ok same timing statistic as above
 		res.Duration += time.Since(t0) // observation time between rounds excluded
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: round %d: %w", st.Round, err)

@@ -1,0 +1,120 @@
+// Package analysistest runs asmvet analyzers against fixture packages
+// and checks their diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest (unavailable offline) on
+// top of the stdlib-only framework in internal/analysis.
+//
+// A fixture is an ordinary Go package under the calling test's
+// testdata/src/<name>/ directory. Every line that should produce a
+// diagnostic carries a trailing comment of the form
+//
+//	// want `regexp` `regexp2` ...
+//
+// with one backquoted regexp per expected diagnostic on that line.
+// Diagnostics and expectations must match one-to-one: an unmatched
+// expectation and an unexpected diagnostic both fail the test. The
+// driver's suppression filtering runs, so fixtures exercise //asm:*-ok
+// escape hatches by expecting no diagnostic on annotated lines (and the
+// stale-suppression check by expecting asmannot findings).
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"asti/internal/analysis"
+	"asti/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+) *$")
+var wantArg = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at testdata/src/<pkg> (relative to the
+// current test's directory), applies the analyzers, and reports any
+// mismatch between produced diagnostics and // want expectations.
+func Run(t *testing.T, pkg string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	pkgs, err := load.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", pkg, len(pkgs))
+	}
+	for _, terr := range pkgs[0].TypeErrors {
+		t.Errorf("fixture %s: type error: %v", pkg, terr)
+	}
+
+	expects, err := parseExpectations(pkgs[0].GoFiles, pkgs[0].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != base || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)", base, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// parseExpectations scans the fixture sources line-by-line for // want
+// comments. Scanning text (not the AST) keeps expectations usable on
+// any line, including ones inside comments-only fixtures.
+func parseExpectations(files []string, dir string) ([]*expectation, error) {
+	var out []*expectation
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArg.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", name, i+1, arg[1], err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*Annotations, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ParseAnnotations(fset, []*ast.File{f})
+}
+
+func TestAnnotationGrammar(t *testing.T) {
+	const src = `package p
+
+//asm:nondet-ok
+func a() {}
+
+//asm:frobnicate whatever
+func b() {}
+
+//asm:hotpath
+func c() {}
+
+func d() {
+	//asm:hotpath
+	_ = 1
+}
+`
+	notes, diags := parseSrc(t, src)
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"needs a reason",
+		`unknown //asm: verb "frobnicate"`,
+		"must appear in a function's doc comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing diagnostic containing %q in:\n%s", want, joined)
+		}
+	}
+	if got := len(notes.HotpathFuncs()); got != 1 {
+		t.Errorf("hotpath funcs = %d, want 1 (doc-comment marker on c only)", got)
+	}
+}
+
+func TestSuppressionCoversFunctionSpan(t *testing.T) {
+	const src = `package p
+
+import "time"
+
+//asm:nondet-ok timing stat for operator logs only
+func timed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+`
+	notes, diags := parseSrc(t, src)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	// Lines 7 and 8 are inside timed's span.
+	for _, line := range []int{7, 8} {
+		if !notes.Suppresses("nondet", token.Position{Filename: "fix.go", Line: line}) {
+			t.Errorf("line %d not covered by the function-level suppression", line)
+		}
+	}
+	if notes.Suppresses("nondet", token.Position{Filename: "fix.go", Line: 3}) {
+		t.Error("line outside the function must not be covered")
+	}
+	if notes.Suppresses("errclass", token.Position{Filename: "fix.go", Line: 7}) {
+		t.Error("a nondet-ok annotation must not suppress errclass findings")
+	}
+}

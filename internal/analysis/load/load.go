@@ -1,0 +1,244 @@
+// Package load resolves, parses and type-checks Go packages for the
+// asmvet analysis suite using only the standard library: package
+// metadata comes from `go list -deps -json` (which works offline — the
+// module has no external dependencies), sources are parsed with go/parser
+// and type-checked bottom-up with go/types. Dependency packages are
+// checked with IgnoreFuncBodies (importers only need their export-level
+// API), so a whole-repo load stays in the low seconds.
+//
+// This is a deliberate, minimal stand-in for golang.org/x/tools/go/packages,
+// which the build environment cannot fetch; it supports exactly what the
+// analyzers need (syntax, full type info, selections) and nothing more.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool // part of the Go distribution (dependency-only; never a root)
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string // source import path -> resolved path (vendored std deps)
+
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	// TypeErrors collects type-checker complaints. For root (module)
+	// packages these should be treated as fatal by tools that require
+	// complete type info; for Standard dependencies they are tolerated.
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (go list syntax, e.g. "./..." or "asti/...")
+// relative to dir, type-checks the matched packages and their transitive
+// dependencies, and returns the matched (root) packages only, sorted by
+// import path. All returned packages share one FileSet.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	rootSet := make(map[string]bool, len(roots))
+	for _, p := range roots {
+		rootSet[p.ImportPath] = true
+	}
+
+	byPath := make(map[string]*listPackage, len(deps))
+	for _, p := range deps {
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		meta:    byPath,
+		roots:   rootSet,
+		checked: make(map[string]*Package, len(deps)),
+	}
+	var out []*Package
+	for _, p := range deps {
+		if !rootSet[p.ImportPath] {
+			continue
+		}
+		pkg, err := ld.check(p.ImportPath)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// goList shells out to `go list -json` (with -deps when deps is true)
+// and decodes the concatenated JSON stream. CGO is disabled so every
+// package resolves to its pure-Go file list, which go/types can check
+// without a C toolchain.
+func goList(dir string, patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,Standard,GoFiles,Imports,ImportMap,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks packages on demand, memoizing results so a shared
+// dependency is checked once.
+type loader struct {
+	fset    *token.FileSet
+	meta    map[string]*listPackage
+	roots   map[string]bool
+	checked map[string]*Package
+}
+
+// check parses and type-checks path (dependencies first, recursively).
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := ld.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not in go list output", path)
+	}
+	// Mark in-progress to fail fast on (impossible, but cheap to guard)
+	// import cycles instead of recursing forever.
+	ld.checked[path] = nil
+	for _, imp := range meta.Imports {
+		if imp == "unsafe" || imp == "C" {
+			continue
+		}
+		if prior, visited := ld.checked[imp]; visited && prior == nil {
+			return nil, fmt.Errorf("import cycle through %s and %s", path, imp)
+		}
+		if _, err := ld.check(imp); err != nil {
+			return nil, err
+		}
+	}
+
+	pkg := &Package{
+		ImportPath: meta.ImportPath,
+		Name:       meta.Name,
+		Dir:        meta.Dir,
+		Standard:   meta.Standard,
+		GoFiles:    meta.GoFiles,
+		Imports:    meta.Imports,
+		ImportMap:  meta.ImportMap,
+		Fset:       ld.fset,
+	}
+	mode := parser.ParseComments | parser.SkipObjectResolution
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, importMap: meta.ImportMap},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		// Dependencies only contribute their export-level API; skipping
+		// their function bodies cuts whole-repo load time severely.
+		IgnoreFuncBodies: !ld.roots[path],
+	}
+	tpkg, err := conf.Check(path, ld.fset, pkg.Syntax, pkg.Info)
+	if err != nil && tpkg == nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves an import string as seen in source to the loaded
+// package, applying the importing package's vendor map first.
+type pkgImporter struct {
+	ld        *loader
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, ok := pi.ld.checked[path]
+	if !ok || pkg == nil {
+		return nil, fmt.Errorf("import %s: not loaded", path)
+	}
+	return pkg.Types, nil
+}
+
+var _ types.Importer = (*pkgImporter)(nil)

@@ -1,0 +1,70 @@
+package load
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadFixture type-checks the testdata fixture package, which pulls
+// in a real stdlib dependency (time), and verifies full type info is
+// available — the foundation every analyzer stands on.
+func TestLoadFixture(t *testing.T) {
+	pkgs, err := Load("testdata/src/hello", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "hello" {
+		t.Fatalf("package name %q, want hello", p.Name)
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if p.Types == nil || !p.Types.Complete() {
+		t.Fatal("types incomplete")
+	}
+
+	// The call to time.Now must resolve to the real stdlib object, and
+	// the map range's operand must have a map type.
+	var sawNow, sawMap bool
+	for _, f := range p.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if obj, ok := p.Info.Uses[n.Sel].(*types.Func); ok && obj.FullName() == "time.Now" {
+					sawNow = true
+				}
+			case *ast.RangeStmt:
+				if _, ok := p.Info.TypeOf(n.X).Underlying().(*types.Map); ok {
+					sawMap = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawNow {
+		t.Error("time.Now call did not resolve through type info")
+	}
+	if !sawMap {
+		t.Error("map range operand did not type as a map")
+	}
+}
+
+// TestLoadModulePackage loads a real module package by import path from
+// this directory (patterns resolve module-wide), with its internal deps.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load(".", "asti/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "asti/internal/rng" {
+		t.Fatalf("unexpected load result: %+v", pkgs)
+	}
+	if len(pkgs[0].TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+}

@@ -1,0 +1,15 @@
+package hello
+
+import "time"
+
+// Hello returns a greeting with a timestamp.
+func Hello() string { return "hi " + time.Now().String() }
+
+// M is a map used by a range loop.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,114 @@
+// Package detrand forbids nondeterminism sources inside the packages
+// the determinism contract covers (docs/ARCHITECTURE.md: byte-identical
+// batches for any worker count, reuse mode, or crash/reactivate cycle).
+// A wall-clock read, a draw from the global math/rand source, or an
+// unordered map iteration in one of these packages is either a
+// determinism bug or needs an //asm:nondet-ok <reason> annotation.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"asti/internal/analysis"
+)
+
+// Scope lists the determinism-critical packages. Tests may append
+// fixture paths. The journal package is in scope because its codec and
+// replay paths feed recovery byte-equivalence; its I/O retry envelope
+// holds the one annotated exception (backoff sleeps).
+var Scope = []string{
+	"asti/internal/rrset",
+	"asti/internal/trim",
+	"asti/internal/adaptive",
+	"asti/internal/rng",
+	"asti/internal/journal",
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Verb: "nondet",
+	Doc:  "forbid time.Now, global math/rand and map iteration in determinism-critical packages",
+	AppliesTo: func(path string) bool {
+		for _, s := range Scope {
+			if path == s {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+// wallClock are the time package's nondeterminism sources. time.Sleep
+// is deliberately absent: sleeping affects schedules, not values.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors build independent, seedable sources — fine anywhere.
+// Everything else reachable through the rand package qualifier draws
+// from (or reseeds) the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock reads and global-source rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if wallClock[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "call to time.%s in a determinism-critical package: wall-clock values must not feed deterministic state", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "call to %s.%s uses the process-global random source: draw from a seeded, campaign-local source instead", pathBase(pn.Imported().Path()), sel.Sel.Name)
+		}
+	}
+}
+
+// checkRange flags iteration over maps: Go randomizes the order, so any
+// value produced by the loop can differ between identical runs.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	tv := pass.Info.TypeOf(rs.X)
+	if tv == nil {
+		return
+	}
+	if _, ok := tv.Underlying().(*types.Map); ok {
+		pass.Reportf(rs.Pos(), "iteration over a map in a determinism-critical package: the order is randomized — iterate a sorted key slice instead")
+	}
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/v2"); i >= 0 {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,34 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"asti/internal/analysis/analysistest"
+	"asti/internal/analysis/passes/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	detrand.Scope = append(detrand.Scope,
+		"asti/internal/analysis/passes/detrand/testdata/src/det")
+	analysistest.Run(t, "det", detrand.Analyzer)
+}
+
+// TestScope pins the production scope: the determinism contract covers
+// exactly these packages, and removing one from the analyzer's reach
+// should be a conscious, reviewed act.
+func TestScope(t *testing.T) {
+	for _, p := range []string{
+		"asti/internal/rrset",
+		"asti/internal/trim",
+		"asti/internal/adaptive",
+		"asti/internal/rng",
+		"asti/internal/journal",
+	} {
+		if !detrand.Analyzer.AppliesTo(p) {
+			t.Errorf("detrand does not apply to %s", p)
+		}
+	}
+	if detrand.Analyzer.AppliesTo("asti/internal/loadgen") {
+		t.Error("detrand must not apply to the load generator (intentionally random)")
+	}
+}

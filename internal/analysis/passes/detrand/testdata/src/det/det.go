@@ -1,0 +1,76 @@
+// Package det is a detrand fixture: nondeterminism sources that must be
+// flagged, legitimate patterns that must not, and the //asm:nondet-ok
+// escape hatch.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	t0 := time.Now() // want `call to time\.Now`
+	doWork()
+	return time.Since(t0) // want `call to time\.Since`
+}
+
+// Nap sleeps; sleeping affects schedules, not values, so it is allowed.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// GlobalDraw uses the process-global source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `process-global random source`
+}
+
+// LocalDraw builds a seeded local source: allowed.
+func LocalDraw() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// Reseed reseeds the global source.
+func Reseed() {
+	rand.Seed(7) // want `process-global random source`
+}
+
+// SumMap iterates a map.
+func SumMap(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want `iteration over a map`
+		t += v
+	}
+	return t
+}
+
+// SumMapAnnotated carries a statement-level escape hatch.
+func SumMapAnnotated(m map[string]int) int {
+	t := 0
+	//asm:nondet-ok summation is order-insensitive
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// SumSlice iterates a slice: ordered, allowed.
+func SumSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+//asm:nondet-ok whole function measures wall time for operator logs only
+func timedWhole() time.Duration {
+	t0 := time.Now()
+	doWork()
+	return time.Since(t0)
+}
+
+func doWork() {}
+
+var _ = timedWhole

@@ -1,0 +1,31 @@
+package det
+
+import (
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// GlobalDrawV2 draws from math/rand/v2's global source.
+func GlobalDrawV2() int64 {
+	return randv2.Int64N(100) // want `process-global random source`
+}
+
+// backoff is a regression mirror of the journal's retry jitter before
+// it moved to a per-writer seeded source (internal/journal/resilience.go):
+// full jitter drawn from the process-global generator made retry
+// schedules irreproducible across runs.
+func backoff(d time.Duration) time.Duration {
+	return time.Duration(randv2.Int64N(int64(d))) + 1 // want `process-global random source`
+}
+
+// LocalPCG builds a local seeded PCG source: allowed.
+func LocalPCG() uint64 {
+	r := randv2.New(randv2.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+// StaleEscape has a suppression with nothing left to suppress.
+func StaleEscape() int {
+	//asm:nondet-ok leftover from a deleted map loop // want `stale suppression`
+	return 4
+}

@@ -1,0 +1,240 @@
+// Package errclass enforces the error discipline on the journal and
+// serve layers' I/O edges: the write-ahead invariant only holds if
+// every error a WAL or session-table operation returns is propagated,
+// errors.Join-ed into the caller's error, or consciously routed through
+// journal.Classify — never silently dropped. Two shapes are flagged:
+//
+//   - a blank assignment that discards an error-typed value
+//     (`_ = w.Close()`, `_, _ = f.Seek(...)`)
+//   - an `if err != nil` branch that returns a nil error without
+//     consuming err (the classic swallow: the caller sees success while
+//     the log is in doubt)
+//
+// Genuine best-effort cleanups (closing a condemned fd, repairing a
+// torn tail while already returning the primary error) carry an
+// //asm:errclass-ok <reason> annotation.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asti/internal/analysis"
+)
+
+// Scope lists the packages whose I/O edges the write-ahead invariant
+// crosses. Tests may append fixture paths.
+var Scope = []string{
+	"asti/internal/journal",
+	"asti/internal/serve",
+}
+
+// Analyzer is the errclass pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Verb: "errclass",
+	Doc:  "forbid discarded and swallowed errors on journal/serve I/O edges",
+	AppliesTo: func(path string) bool {
+		for _, s := range Scope {
+			if path == s {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSwallows(pass, n)
+				}
+			case *ast.FuncLit:
+				checkSwallowsBody(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankError flags `_ = <error>` in any assignment shape.
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if t := resultType(pass, as, i); t != nil && isErrorType(t) {
+			pass.Reportf(lhs.Pos(), "error discarded with a blank assignment: propagate it, errors.Join it into the returned error, or annotate the best-effort cleanup")
+		}
+	}
+}
+
+// resultType resolves the type flowing into the i-th LHS of as.
+func resultType(pass *analysis.Pass, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// multi-value call: unpack the tuple
+		t := pass.Info.TypeOf(as.Rhs[0])
+		if tup, ok := t.(*types.Tuple); ok && i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+	if i < len(as.Rhs) {
+		return pass.Info.TypeOf(as.Rhs[i])
+	}
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is error or any type implementing it —
+// discarding a concrete error type is still discarding an error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// checkSwallows inspects every `if <err> != nil` in the function whose
+// body returns a nil error without consuming err.
+func checkSwallows(pass *analysis.Pass, fd *ast.FuncDecl) {
+	checkSwallowsBody(pass, fd.Type, fd.Body)
+}
+
+func checkSwallowsBody(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	errIdx := errorResultIndexes(pass, ft)
+	if len(errIdx) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // nested literals get their own visit
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		errObj := nonNilCheckedError(pass, ifs.Cond)
+		if errObj == nil {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			ret, ok := st.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			if !returnsNilError(pass, ret, errIdx, len(ft.Results.List)) {
+				continue
+			}
+			if usesObject(pass, ifs.Body, errObj, ifs.Cond) {
+				continue // logged, joined, wrapped, reassigned — consumed
+			}
+			pass.Reportf(ret.Pos(), "error %s checked non-nil but the branch returns a nil error: the failure is swallowed", errObj.Name())
+		}
+		return true
+	})
+}
+
+// errorResultIndexes returns the positions of error-typed results.
+func errorResultIndexes(pass *analysis.Pass, ft *ast.FuncType) []int {
+	if ft.Results == nil {
+		return nil
+	}
+	var idx []int
+	i := 0
+	for _, fld := range ft.Results.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.Info.TypeOf(fld.Type)
+		for k := 0; k < n; k++ {
+			if t != nil && isErrorType(t) {
+				idx = append(idx, i)
+			}
+			i++
+		}
+	}
+	return idx
+}
+
+// nonNilCheckedError matches `x != nil` (either side) where x is an
+// error-typed identifier or selector, returning x's object (selectors
+// return the field object).
+func nonNilCheckedError(pass *analysis.Pass, cond ast.Expr) types.Object {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return nil
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) {
+		return nil
+	}
+	t := pass.Info.TypeOf(x)
+	if t == nil || !isErrorType(t) {
+		return nil
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// returnsNilError reports whether ret yields a literal nil in every
+// error result position. A bare return in a function with named results
+// is not flagged (the named error may have been set).
+func returnsNilError(pass *analysis.Pass, ret *ast.ReturnStmt, errIdx []int, _ int) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	if len(ret.Results) == 1 {
+		if _, isCall := ret.Results[0].(*ast.CallExpr); isCall {
+			return false // return f() — the callee decides
+		}
+	}
+	for _, i := range errIdx {
+		if i >= len(ret.Results) || !isNilIdent(ret.Results[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// usesObject reports whether obj appears in body outside cond — as a
+// call argument, a wrap, an assignment source, anything.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, cond ast.Expr) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || used {
+			return !used
+		}
+		if pass.Info.Uses[id] == obj && !within(cond, id.Pos()) {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,22 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"asti/internal/analysis/analysistest"
+	"asti/internal/analysis/passes/errclass"
+)
+
+func TestErrclass(t *testing.T) {
+	errclass.Scope = append(errclass.Scope,
+		"asti/internal/analysis/passes/errclass/testdata/src/errfix")
+	analysistest.Run(t, "errfix", errclass.Analyzer)
+}
+
+func TestScope(t *testing.T) {
+	for _, p := range []string{"asti/internal/journal", "asti/internal/serve"} {
+		if !errclass.Analyzer.AppliesTo(p) {
+			t.Errorf("errclass does not apply to %s", p)
+		}
+	}
+}

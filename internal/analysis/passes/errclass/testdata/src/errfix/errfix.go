@@ -1,0 +1,96 @@
+// Package errfix is an errclass fixture: discarded and swallowed errors
+// that must be flagged, propagation shapes that must not, and the
+// //asm:errclass-ok escape hatch.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// DropClose discards a Close error.
+func DropClose(f *os.File) {
+	_ = f.Close() // want `error discarded with a blank assignment`
+}
+
+// DropSeek discards the error half of a two-value return.
+func DropSeek(f *os.File) {
+	_, _ = f.Seek(0, 0) // want `error discarded with a blank assignment`
+}
+
+// DropAnnotated is a documented best-effort cleanup.
+func DropAnnotated(f *os.File) {
+	//asm:errclass-ok closing a condemned fd whose error is meaningless
+	_ = f.Close()
+}
+
+// DropNonError is fine: the blank swallows an int, not an error.
+func DropNonError(f *os.File) {
+	_, err := f.Seek(0, 0)
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Swallow checks the error, then tells the caller everything is fine.
+func Swallow(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return nil // want `checked non-nil but the branch returns a nil error`
+	}
+	return nil
+}
+
+// SwallowTwoValues loses the error in a (T, error) shape.
+func SwallowTwoValues(f *os.File) ([]byte, error) {
+	buf := make([]byte, 8)
+	_, err := f.Read(buf)
+	if err != nil {
+		return buf, nil // want `checked non-nil but the branch returns a nil error`
+	}
+	return buf, nil
+}
+
+// Propagate returns the error: fine.
+func Propagate(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Wrap wraps the error: fine.
+func Wrap(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return nil
+}
+
+// Join joins a cleanup error into the primary one: fine.
+func Join(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return nil
+}
+
+// ConsumeThenNil logs (consumes) the error before returning nil: the
+// swallow is deliberate and visible, so it is not flagged.
+func ConsumeThenNil(f *os.File, logf func(error)) error {
+	if err := f.Sync(); err != nil {
+		logf(err)
+		return nil
+	}
+	return nil
+}
+
+// SentinelTranslate returns nil on an equality check, not a != nil
+// check: allowed (sentinel handling, not swallowing).
+func SentinelTranslate(f *os.File) error {
+	err := f.Sync()
+	if err == os.ErrClosed {
+		return nil
+	}
+	return err
+}

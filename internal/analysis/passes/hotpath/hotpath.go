@@ -1,0 +1,314 @@
+// Package hotpath enforces the allocation and dispatch rules on
+// functions marked //asm:hotpath — the sampling kernels (propagateIC,
+// MRRStable, the greedy walks) whose per-node cost budget is a handful
+// of nanoseconds. Inside a marked function the analyzer forbids:
+//
+//   - defer (a ~ns-scale frame cost per call, paid per set)
+//   - any call into fmt (always allocates, always boxes)
+//   - interface conversions, explicit or implicit (boxing allocates;
+//     dynamic dispatch defeats the registerization the kernels rely on)
+//   - type assertions (same dynamic-dispatch tax)
+//   - allocation: make, new, go statements, closures, and composite
+//     literals of reference types (struct-value literals are free)
+//   - append whose destination is a slice freshly allocated in the
+//     function and then stored to a field or passed onward — per-call
+//     garbage. Appending to caller-owned buffers or long-lived
+//     field-backed scratch is the engine's core idiom and stays legal.
+//
+// The escape hatch is //asm:hotpath-ok <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asti/internal/analysis"
+)
+
+// Analyzer is the hotpath pass; it runs everywhere (marked functions
+// only exist where kernels live).
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Verb: "hotpath",
+	Doc:  "forbid allocation, fmt, defer and interface conversions in //asm:hotpath kernels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range pass.Notes.HotpathFuncs() {
+		if fd.Body != nil {
+			checkKernel(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkKernel(pass *analysis.Pass, fd *ast.FuncDecl) {
+	fresh := freshSlices(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in a hot-path kernel: the frame setup cost is paid per call")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in a hot-path kernel")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in a hot-path kernel: the captured environment allocates")
+			return false
+		case *ast.TypeAssertExpr:
+			if n.Type != nil { // exclude type switches (handled per-case)
+				pass.Reportf(n.Pos(), "type assertion in a hot-path kernel: dynamic dispatch defeats registerization")
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in a hot-path kernel allocates", kindName(t))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in a hot-path kernel allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, fresh)
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, fresh map[types.Object]bool) {
+	// Builtins and conversions first.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			if isBuiltin(pass, fun) {
+				pass.Reportf(call.Pos(), "make in a hot-path kernel allocates: hoist the buffer into reusable scratch")
+				return
+			}
+		case "new":
+			if isBuiltin(pass, fun) {
+				pass.Reportf(call.Pos(), "new in a hot-path kernel allocates")
+				return
+			}
+		case "append":
+			if isBuiltin(pass, fun) {
+				checkAppend(pass, call, fresh)
+				return
+			}
+		case "panic":
+			// A panic is a terminal guard, never the happy path; boxing its
+			// argument is free at runtime.
+			if isBuiltin(pass, fun) {
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s in a hot-path kernel: fmt always allocates and boxes its operands", fun.Sel.Name)
+				return
+			}
+		}
+	}
+	// Explicit conversion to an interface type.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to := tv.Type
+		from := pass.Info.TypeOf(call.Args[0])
+		if types.IsInterface(to) && from != nil && !types.IsInterface(from) {
+			pass.Reportf(call.Pos(), "conversion of %s to interface %s in a hot-path kernel boxes the value", from, to)
+		}
+		if isStringByteConv(to, from) {
+			pass.Reportf(call.Pos(), "string/byte-slice conversion in a hot-path kernel copies its operand")
+		}
+		return
+	}
+	// Implicit interface conversions at call boundaries.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument %s is boxed into interface parameter %s in a hot-path kernel", at, pt)
+	}
+}
+
+// checkAppend flags appends onto slices freshly allocated in this
+// function when the appended result is stored into a field/index or
+// handed to another call — i.e. a per-call allocation that escapes.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, fresh map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !fresh[obj] {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s, a slice allocated in this function, escapes: per-call garbage — reuse caller-owned or field-backed scratch", id.Name)
+}
+
+// freshSlices finds local slice variables that (a) are freshly
+// allocated here (make/literal) and (b) escape (returned, assigned to
+// a selector/index, or passed to a call other than append/len/cap).
+func freshSlices(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	alloc := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if !isFreshSliceExpr(pass, as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				alloc[obj] = true
+			}
+		}
+		return true
+	})
+	if len(alloc) == 0 {
+		return alloc
+	}
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				markUses(pass, r, alloc, escaped)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					for _, rhs := range n.Rhs {
+						markUses(pass, rhs, alloc, escaped)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && isBuiltin(pass, id) {
+				switch id.Name {
+				case "append", "len", "cap", "copy":
+					return true
+				}
+			}
+			for _, arg := range n.Args {
+				markUses(pass, arg, alloc, escaped)
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+func markUses(pass *analysis.Pass, e ast.Expr, alloc, out map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && alloc[obj] {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func isFreshSliceExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || !isBuiltin(pass, id) {
+			return false
+		}
+	case *ast.CompositeLit:
+	default:
+		return false
+	}
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isStringByteConv reports a string([]byte)/[]byte(string)-shaped
+// conversion (including []rune), which copies its operand.
+func isStringByteConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}

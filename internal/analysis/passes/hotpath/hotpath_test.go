@@ -1,0 +1,20 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"asti/internal/analysis/analysistest"
+	"asti/internal/analysis/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "hotfix", hotpath.Analyzer)
+}
+
+// TestAppliesEverywhere pins that hotpath has no package scope: marked
+// kernels are checked wherever they appear.
+func TestAppliesEverywhere(t *testing.T) {
+	if hotpath.Analyzer.AppliesTo != nil {
+		t.Error("hotpath should run on every package (AppliesTo == nil)")
+	}
+}

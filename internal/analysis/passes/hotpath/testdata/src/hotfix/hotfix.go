@@ -1,0 +1,103 @@
+// Package hotfix is a hotpath fixture: allocation, fmt, defer,
+// interface boxing and escaping-append violations inside marked
+// kernels, the same constructs unflagged outside them, the legal
+// caller-owned-buffer idioms, and the //asm:hotpath-ok escape hatch.
+package hotfix
+
+import "fmt"
+
+type entry struct{ k, v int }
+
+type sink struct {
+	out []int
+	buf []int
+	raw []byte
+}
+
+func spin() {}
+
+func eat(v any) { _ = v }
+
+func take(vs ...any) { _ = vs }
+
+// kernel exercises the forbidden constructs.
+//
+//asm:hotpath
+func (s *sink) kernel(dst []int, n int) []int {
+	defer spin()   // want `defer in a hot-path kernel`
+	go spin()      // want `goroutine launch in a hot-path kernel`
+	fmt.Println(n) // want `fmt\.Println in a hot-path kernel`
+
+	f := func() int { return n } // want `closure in a hot-path kernel`
+	_ = f
+
+	tmp := make([]int, 0, n) // want `make in a hot-path kernel`
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, i) // want `append to tmp, a slice allocated in this function`
+	}
+	s.out = tmp
+
+	loc := []int{} // want `slice literal in a hot-path kernel`
+	loc = append(loc, n)
+	_ = loc
+
+	m := map[int]int{} // want `map literal in a hot-path kernel`
+	_ = m
+
+	p := new(entry) // want `new in a hot-path kernel`
+	_ = p
+
+	e := &entry{} // want `&composite literal in a hot-path kernel`
+	_ = e
+
+	val := entry{k: n, v: n} // struct value literal: free
+	_ = val
+
+	v := any(n)                // want `conversion of int to interface any in a hot-path kernel`
+	if iv, ok := v.(int); ok { // want `type assertion in a hot-path kernel`
+		n = iv
+	}
+	switch v.(type) { // type switches dispatch once: allowed
+	case int:
+	}
+
+	eat(n)  // want `argument int is boxed into interface parameter any`
+	take(n) // want `argument int is boxed into interface parameter any`
+	eat(v)  // interface-to-interface: no box
+	eat(nil)
+	if n < 0 {
+		panic("negative") // terminal guard: allowed
+	}
+
+	name := string(s.raw) // want `string/byte-slice conversion in a hot-path kernel`
+	_ = name
+
+	//asm:hotpath-ok one-shot diagnostic print, not on the per-sample path
+	fmt.Println(n)
+
+	s.buf = append(s.buf, n) // field-backed scratch: legal
+	dst = append(dst, n)     // caller-owned buffer: legal
+	return dst
+}
+
+// badCollect returns freshly allocated garbage on every call.
+//
+//asm:hotpath
+func badCollect(n int) []int {
+	out := make([]int, 0, n) // want `make in a hot-path kernel`
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out, a slice allocated in this function`
+	}
+	return out
+}
+
+// coldCollect is not marked: the same constructs are fine here.
+func coldCollect(n int) []int {
+	defer spin()
+	fmt.Println(n)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

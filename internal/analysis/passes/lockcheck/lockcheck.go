@@ -1,0 +1,406 @@
+// Package lockcheck machine-enforces the serve layer's lock discipline:
+//
+//  1. Struct fields annotated "// guarded by <mu>" (where <mu> names a
+//     sibling sync.Mutex/sync.RWMutex field) may only be accessed from
+//     functions that visibly acquire that mutex on the same base value,
+//     from functions following the *Locked-suffix naming convention
+//     (callers hold the lock), or on freshly built values that cannot
+//     be shared yet (the base is a local initialized from a composite
+//     literal). Anything else needs //asm:lock-ok <reason>.
+//
+//  2. No blocking call — fsync-bearing journal I/O, time.Sleep, network
+//     dials — while holding the serve Manager's table lock: one stuck
+//     disk must not stall every unrelated session's request.
+//
+// The check is flow-insensitive by design (an acquire anywhere in the
+// function legitimizes the access); it catches the real bug class —
+// fields read with no locking story at all — without a full
+// happens-before analysis.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"asti/internal/analysis"
+)
+
+// TableLockTypes names types (by "pkgpath.TypeName") whose mutex field
+// "mu" is a table lock: coarse, hot, and therefore forbidden to hold
+// across blocking calls. Tests may append fixture types.
+var TableLockTypes = []string{
+	"asti/internal/serve.Manager",
+}
+
+// BlockingCalls lists callees (types.Func.FullName form) that block on
+// I/O or timers. Tests may append fixture callees.
+var BlockingCalls = []string{
+	"time.Sleep",
+	"(*os.File).Sync",
+	"(*asti/internal/journal.Writer).Append",
+	"(*asti/internal/journal.Writer).AppendFrame",
+	"(*asti/internal/journal.Store).Create",
+	"(*asti/internal/journal.Store).Resume",
+	"(*asti/internal/journal.Store).Load",
+	"(*asti/internal/journal.Store).Compact",
+	"(*asti/internal/journal.Store).Remove",
+	"(*asti/internal/serve.Session).rebuild",
+}
+
+// Analyzer is the lockcheck pass. It runs on every module package;
+// it only fires where "guarded by" annotations or table-lock types
+// exist.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Verb: "lock",
+	Doc:  "enforce 'guarded by mu' field annotations and no-blocking-under-table-lock",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if len(guards) > 0 {
+				checkGuardedAccess(pass, fd, guards)
+			}
+			checkBlockingUnderLock(pass, fd)
+		}
+	}
+	return nil
+}
+
+// guardInfo is one annotated field.
+type guardInfo struct {
+	mu string // sibling mutex field name
+}
+
+// collectGuards maps field objects to their declared guard. A
+// "guarded by x" annotation naming a non-mutex (or absent) sibling is
+// itself a diagnostic — a contract nobody can hold is a doc bug.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				t := pass.Info.TypeOf(fld.Type)
+				if t != nil && isMutex(t) {
+					for _, name := range fld.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				txt := fieldCommentText(fld)
+				m := guardedRe.FindStringSubmatch(txt)
+				if m == nil {
+					continue
+				}
+				if !mutexes[m[1]] {
+					pass.Reportf(fld.Pos(), "field declared 'guarded by %s' but the struct has no sync.Mutex/RWMutex field of that name", m[1])
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{mu: m[1]}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func fieldCommentText(fld *ast.Field) string {
+	var b strings.Builder
+	if fld.Doc != nil {
+		b.WriteString(fld.Doc.Text())
+	}
+	if fld.Comment != nil {
+		b.WriteString(fld.Comment.Text())
+	}
+	return b.String()
+}
+
+func isMutex(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkGuardedAccess flags selector accesses to guarded fields in
+// functions with no visible acquire of the matching mutex on the same
+// base expression.
+func checkGuardedAccess(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]guardInfo) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // convention: the caller holds the lock
+	}
+	// Bases on which some mutex is acquired in this function:
+	// "<baseText>.<muName>" strings.
+	acquired := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+			acquired[exprText(pass.Fset, muSel.X)+"."+muSel.Sel.Name] = true
+		}
+		return true
+	})
+	fresh := freshLocals(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		base := exprText(pass.Fset, sel.X)
+		if acquired[base+"."+g.mu] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && fresh[obj] {
+				return true // under construction: not shared yet
+			}
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s.%s, but this function neither acquires it nor follows the Locked-suffix convention", base, selection.Obj().Name(), base, g.mu)
+		return true
+	})
+}
+
+// freshLocals returns local variables initialized from composite
+// literals (&T{...}, T{}) in fd: values still private to the function,
+// whose guarded fields may be set lock-free during construction.
+func freshLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				rhs = ue.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// checkBlockingUnderLock walks fd's statements in order, tracking
+// whether a table lock is held, and flags blocking calls inside the
+// critical section. The scan is syntactic and sequential: nested
+// control flow inherits the current state, a defer'd Unlock keeps the
+// state held through the end of the function (correct: the lock really
+// is held until return).
+func checkBlockingUnderLock(pass *analysis.Pass, fd *ast.FuncDecl) {
+	locked := false
+	var walk func(stmts []ast.Stmt)
+	flagCalls := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := calleeFullName(pass, call); name != "" && isBlocking(name) {
+				pass.Reportf(call.Pos(), "call to %s while holding a table lock: fsync/network/timer waits under the session-table mutex stall every request", name)
+			}
+			return true
+		})
+	}
+	walk = func(stmts []ast.Stmt) {
+		for _, st := range stmts {
+			switch st := st.(type) {
+			case *ast.ExprStmt:
+				if kind, ok := tableLockOp(pass, st.X); ok {
+					locked = kind
+					continue
+				}
+				if locked {
+					flagCalls(st)
+				}
+			case *ast.DeferStmt:
+				// defer mu.Unlock() does not release until return: the
+				// state stays locked for the rest of the scan. Other
+				// deferred calls run after the final Unlock (or with the
+				// lock held — either way they execute outside the
+				// statement order), so they are scanned only if locked.
+				if _, ok := tableLockOp(pass, st.Call); ok {
+					continue
+				}
+				if locked {
+					flagCalls(st)
+				}
+			case *ast.BlockStmt:
+				walk(st.List)
+			case *ast.IfStmt:
+				if locked {
+					flagCalls(st.Cond)
+				}
+				walk(st.Body.List)
+				if st.Else != nil {
+					switch e := st.Else.(type) {
+					case *ast.BlockStmt:
+						walk(e.List)
+					case *ast.IfStmt:
+						walk([]ast.Stmt{e})
+					}
+				}
+			case *ast.ForStmt:
+				walk(st.Body.List)
+			case *ast.RangeStmt:
+				walk(st.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walk(cc.Body)
+					}
+				}
+			default:
+				if locked {
+					flagCalls(st)
+				}
+			}
+		}
+	}
+	walk(fd.Body.List)
+}
+
+// tableLockOp matches `<x>.mu.Lock()` / `<x>.mu.Unlock()` (and RLock /
+// RUnlock) where x's type is a configured table-lock owner. Returns
+// (newLockedState, true) on a match.
+func tableLockOp(pass *analysis.Pass, e ast.Expr) (bool, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, false
+	}
+	var lockState bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lockState = true
+	case "Unlock", "RUnlock":
+		lockState = false
+	default:
+		return false, false
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return false, false
+	}
+	t := pass.Info.TypeOf(muSel.X)
+	if t == nil {
+		return false, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false, false
+	}
+	full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	for _, tl := range TableLockTypes {
+		if full == tl {
+			return lockState, true
+		}
+	}
+	return false, false
+}
+
+// calleeFullName resolves a call's target to types.Func.FullName form
+// ("time.Sleep", "(*os.File).Sync").
+func calleeFullName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+func isBlocking(full string) bool {
+	for _, b := range BlockingCalls {
+		if full == b {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders an expression compactly for base comparison.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	_ = printer.Fprint(&b, fset, e)
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"asti/internal/analysis/analysistest"
+	"asti/internal/analysis/passes/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	lockcheck.TableLockTypes = append(lockcheck.TableLockTypes,
+		"asti/internal/analysis/passes/lockcheck/testdata/src/lockfix.Table")
+	analysistest.Run(t, "lockfix", lockcheck.Analyzer)
+}
+
+// TestConfig pins the production configuration: the Manager table lock
+// must stay in the no-blocking set, and the journal's fsync-bearing
+// edges must stay classified as blocking.
+func TestConfig(t *testing.T) {
+	found := false
+	for _, tl := range lockcheck.TableLockTypes {
+		if tl == "asti/internal/serve.Manager" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("serve.Manager missing from TableLockTypes")
+	}
+	for _, want := range []string{
+		"(*asti/internal/journal.Writer).AppendFrame",
+		"(*asti/internal/journal.Store).Compact",
+		"time.Sleep",
+	} {
+		ok := false
+		for _, b := range lockcheck.BlockingCalls {
+			if b == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s missing from BlockingCalls", want)
+		}
+	}
+}

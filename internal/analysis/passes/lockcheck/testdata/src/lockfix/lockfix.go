@@ -1,0 +1,108 @@
+// Package lockfix is a lockcheck fixture: guarded-field accesses with
+// and without the lock, the Locked-suffix convention, construction-time
+// writes, the //asm:lock-ok escape hatch, and blocking calls under a
+// table lock.
+package lockfix
+
+import (
+	"sync"
+	"time"
+)
+
+// Counter has one guarded field and one unguarded field.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ro int // set at construction, read-only afterwards
+}
+
+// Good locks before touching n.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad reads n with no locking story.
+func (c *Counter) Bad() int {
+	return c.n // want `guarded by c\.mu`
+}
+
+// BadWrite writes n with no locking story.
+func (c *Counter) BadWrite(v int) {
+	c.n = v // want `guarded by c\.mu`
+}
+
+// bumpLocked follows the convention: callers hold c.mu.
+func (c *Counter) bumpLocked() {
+	c.n++
+}
+
+// Bump uses the convention correctly.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// ReadOther reads the unguarded field: fine.
+func (c *Counter) ReadOther() int {
+	return c.ro
+}
+
+// NewCounter sets guarded fields during construction: the value is not
+// shared yet, so no lock is needed.
+func NewCounter(start int) *Counter {
+	c := &Counter{ro: 1}
+	c.n = start
+	return c
+}
+
+// Snapshot documents why the unlocked read is safe.
+func (c *Counter) Snapshot() int {
+	//asm:lock-ok benign monitoring read; staleness is acceptable here
+	return c.n
+}
+
+// WrongBase locks one counter but touches another.
+func SwapReads(a, b *Counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n + b.n // want `b\.n is guarded by b\.mu`
+}
+
+// Orphan declares a guard that does not exist.
+type Orphan struct {
+	// guarded by missing
+	state int // want `no sync\.Mutex/RWMutex field of that name`
+}
+
+// Table is a table-lock owner (the test registers it).
+type Table struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+// SleepUnderLock blocks while holding the table lock.
+func (t *Table) SleepUnderLock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `while holding a table lock`
+}
+
+// SleepAfterUnlock releases first: fine.
+func (t *Table) SleepAfterUnlock() {
+	t.mu.Lock()
+	t.rows["x"] = 1
+	t.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// SleepInBranch blocks inside nested control flow under the lock.
+func (t *Table) SleepInBranch(slow bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if slow {
+		time.Sleep(time.Millisecond) // want `while holding a table lock`
+	}
+}

@@ -1,0 +1,261 @@
+// Package metriclint lints the hand-rolled Prometheus text exposition
+// in cmd/asmserve. The exposition is built from string literals
+// (`# HELP`/`# TYPE` declarations and per-sample format strings), so
+// the analyzer checks the literals themselves:
+//
+//   - every `# TYPE` kind is a real Prometheus kind, every counter
+//     name ends in _total, and nothing that is not a counter does
+//   - every `# HELP` has a non-empty help string
+//   - HELP and TYPE come in pairs (a family declared once, with both)
+//   - metric names are valid Prometheus identifiers
+//   - sample lines only emit declared families, and a family's label
+//     key set is the same at every emission site (le is allowed on
+//     _bucket samples; fully dynamic label keys such as writeProm's
+//     %s-keyed histograms are skipped — the runtime promlint covers
+//     those)
+//
+// The escape hatch is //asm:metric-ok <reason>.
+package metriclint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asti/internal/analysis"
+)
+
+// Scope lists the packages whose string literals form a Prometheus
+// exposition. Tests append fixture paths.
+var Scope = []string{"asti/cmd/asmserve"}
+
+// Analyzer is the metriclint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclint",
+	Verb: "metric",
+	Doc:  "lint the Prometheus exposition literals: counter naming, help strings, constant label sets",
+	AppliesTo: func(p string) bool {
+		for _, s := range Scope {
+			if p == s {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP +([^ ]+) *(.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE +([^ ]+) *(.*)$`)
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_:]*)(\{[^}]*\})? +`)
+)
+
+var validKinds = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// family is one declared metric family, accumulated across literals.
+type family struct {
+	kind    string
+	kindPos token.Pos
+	helpPos token.Pos
+	hasHelp bool
+	hasType bool
+	labels  []string // sorted label keys from the first sample seen
+}
+
+func run(pass *analysis.Pass) error {
+	var lits []*ast.BasicLit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+				lits = append(lits, bl)
+			}
+			return true
+		})
+	}
+
+	fams := map[string]*family{}
+	fam := func(name string) *family {
+		if fams[name] == nil {
+			fams[name] = &family{}
+		}
+		return fams[name]
+	}
+
+	// Pass 1: HELP/TYPE declarations.
+	for _, bl := range lits {
+		for _, line := range litLines(bl) {
+			if m := helpRe.FindStringSubmatch(line); m != nil {
+				name, help := m[1], strings.TrimSpace(m[2])
+				f := fam(name)
+				if f.hasHelp {
+					pass.Reportf(bl.Pos(), "duplicate # HELP for %s", name)
+				}
+				f.hasHelp = true
+				f.helpPos = bl.Pos()
+				if help == "" {
+					pass.Reportf(bl.Pos(), "empty help string for %s: operators read this on every dashboard", name)
+				}
+				continue
+			}
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			name, kind := m[1], strings.TrimSpace(m[2])
+			f := fam(name)
+			if f.hasType {
+				pass.Reportf(bl.Pos(), "duplicate # TYPE for %s", name)
+			}
+			f.hasType = true
+			f.kind = kind
+			f.kindPos = bl.Pos()
+			if !nameRe.MatchString(name) {
+				pass.Reportf(bl.Pos(), "%q is not a valid Prometheus metric name", name)
+			}
+			if !validKinds[kind] {
+				pass.Reportf(bl.Pos(), "%q is not a Prometheus metric kind (counter, gauge, histogram, summary, untyped)", kind)
+				continue
+			}
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				pass.Reportf(bl.Pos(), "counter %s must end in _total", name)
+			}
+			if kind != "counter" && strings.HasSuffix(name, "_total") {
+				pass.Reportf(bl.Pos(), "%s %s must not end in _total (the suffix promises counter semantics)", kind, name)
+			}
+		}
+	}
+
+	// Pass 2: sample lines.
+	for _, bl := range lits {
+		for _, line := range litLines(bl) {
+			name, labels, ok := parseSample(line)
+			if !ok {
+				continue
+			}
+			base, isBucket := baseFamily(name, fams)
+			f := fams[base]
+			if f == nil || !f.hasType {
+				if strings.Contains(name, "_") {
+					pass.Reportf(bl.Pos(), "sample for %s, which has no # TYPE declaration", name)
+				}
+				continue
+			}
+			if labels == nil { // dynamic label keys: runtime promlint's job
+				continue
+			}
+			if isBucket {
+				labels = drop(labels, "le")
+			}
+			sort.Strings(labels)
+			if f.labels == nil { // first emission site fixes the set
+				f.labels = labels
+				continue
+			}
+			if !equalStrings(f.labels, labels) {
+				pass.Reportf(bl.Pos(), "inconsistent label set for %s: {%s} here, {%s} at other emission sites",
+					base, strings.Join(labels, ","), strings.Join(f.labels, ","))
+			}
+		}
+	}
+
+	// Pass 3: pairing.
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		switch {
+		case f.hasType && !f.hasHelp:
+			pass.Reportf(f.kindPos, "%s has # TYPE but no # HELP", name)
+		case f.hasHelp && !f.hasType:
+			pass.Reportf(f.helpPos, "%s has # HELP but no # TYPE", name)
+		}
+	}
+	return nil
+}
+
+// litLines unquotes a string literal and returns its lines. Literals
+// that do not unquote (or are clearly not exposition text) yield nil.
+func litLines(bl *ast.BasicLit) []string {
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+}
+
+// parseSample recognises a sample format string: a metric name, an
+// optional {label} block, then a value that is a fmt verb or a digit.
+// labels is nil (with ok=true) when a label key is dynamic (%-verb).
+func parseSample(line string) (name string, labels []string, ok bool) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", nil, false
+	}
+	rest := line[len(m[0]):]
+	if rest == "" || !(rest[0] == '%' || (rest[0] >= '0' && rest[0] <= '9')) {
+		return "", nil, false
+	}
+	name = m[1]
+	if m[2] == "" {
+		return name, []string{}, true
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(m[2], "{"), "}")
+	for _, pair := range strings.Split(body, ",") {
+		key, _, found := strings.Cut(pair, "=")
+		key = strings.TrimSpace(key)
+		if !found || strings.Contains(key, "%") {
+			return name, nil, true
+		}
+		labels = append(labels, key)
+	}
+	return name, labels, true
+}
+
+// baseFamily maps histogram/summary series names back to their family:
+// name_bucket/name_sum/name_count belong to name when name is declared
+// as a histogram or summary.
+func baseFamily(name string, fams map[string]*family) (string, bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if f := fams[base]; f != nil && (f.kind == "histogram" || f.kind == "summary") {
+			return base, suf == "_bucket"
+		}
+	}
+	return name, false
+}
+
+func drop(ss []string, bad string) []string {
+	out := ss[:0]
+	for _, s := range ss {
+		if s != bad {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

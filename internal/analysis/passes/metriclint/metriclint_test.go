@@ -1,0 +1,24 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"asti/internal/analysis/analysistest"
+	"asti/internal/analysis/passes/metriclint"
+)
+
+func TestMetriclint(t *testing.T) {
+	metriclint.Scope = append(metriclint.Scope,
+		"asti/internal/analysis/passes/metriclint/testdata/src/promfix")
+	analysistest.Run(t, "promfix", metriclint.Analyzer)
+}
+
+// TestScope pins the production exposition package.
+func TestScope(t *testing.T) {
+	if !metriclint.Analyzer.AppliesTo("asti/cmd/asmserve") {
+		t.Error("metriclint does not apply to asti/cmd/asmserve")
+	}
+	if metriclint.Analyzer.AppliesTo("asti/internal/journal") {
+		t.Error("metriclint should not apply outside exposition packages")
+	}
+}

@@ -1,0 +1,70 @@
+// Package promfix is a metriclint fixture: a literal-built Prometheus
+// exposition with naming, help, pairing and label-constancy mistakes,
+// a clean histogram family, and the //asm:metric-ok escape hatch.
+package promfix
+
+import (
+	"fmt"
+	"io"
+)
+
+func expo(w io.Writer, n int, phase string) {
+	// Clean counter family.
+	fmt.Fprintln(w, "# HELP app_requests_total Requests served since boot.")
+	fmt.Fprintln(w, "# TYPE app_requests_total counter")
+	fmt.Fprintf(w, "app_requests_total %d\n", n)
+
+	// Counter not named _total.
+	fmt.Fprintln(w, "# HELP app_restarts Process restarts since deploy.")
+	fmt.Fprintln(w, "# TYPE app_restarts counter") // want `counter app_restarts must end in _total`
+	fmt.Fprintf(w, "app_restarts %d\n", n)
+
+	// Gauge wrongly named _total.
+	fmt.Fprintln(w, "# HELP app_workers_total Live worker goroutines.")
+	fmt.Fprintln(w, "# TYPE app_workers_total gauge") // want `gauge app_workers_total must not end in _total`
+	fmt.Fprintf(w, "app_workers_total %d\n", n)
+
+	// Empty help string.
+	fmt.Fprintln(w, "# HELP app_depth_bytes") // want `empty help string for app_depth_bytes`
+	fmt.Fprintln(w, "# TYPE app_depth_bytes gauge")
+	fmt.Fprintf(w, "app_depth_bytes %d\n", n)
+
+	// Bogus kind.
+	fmt.Fprintln(w, "# HELP app_mood_total Current mood.")
+	fmt.Fprintln(w, "# TYPE app_mood_total feeling") // want `"feeling" is not a Prometheus metric kind`
+	fmt.Fprintf(w, "app_mood_total %d\n", n)
+
+	// TYPE with no HELP anywhere.
+	fmt.Fprintln(w, "# TYPE app_orphans gauge") // want `app_orphans has # TYPE but no # HELP`
+	fmt.Fprintf(w, "app_orphans %d\n", n)
+
+	// HELP with no TYPE anywhere.
+	fmt.Fprintln(w, "# HELP app_widows Widowed families.") // want `app_widows has # HELP but no # TYPE`
+
+	// Sample with no declaration at all.
+	fmt.Fprintf(w, "app_ghost_bytes %d\n", n) // want `sample for app_ghost_bytes, which has no # TYPE declaration`
+
+	// Label set drift between emission sites.
+	fmt.Fprintln(w, "# HELP app_jobs Jobs by phase.")
+	fmt.Fprintln(w, "# TYPE app_jobs gauge")
+	fmt.Fprintf(w, "app_jobs{phase=%q} %d\n", phase, n)
+	fmt.Fprintf(w, "app_jobs{phase=%q,shard=\"0\"} %d\n", phase, n) // want `inconsistent label set for app_jobs`
+
+	// Histogram family: le on _bucket is fine, _sum/_count share the set.
+	fmt.Fprintln(w, "# HELP app_step_seconds Step latency.")
+	fmt.Fprintln(w, "# TYPE app_step_seconds histogram")
+	fmt.Fprintf(w, "app_step_seconds_bucket{op=%q,le=%q} %d\n", phase, "0.1", n)
+	fmt.Fprintf(w, "app_step_seconds_sum{op=%q} %g\n", phase, 0.5)
+	fmt.Fprintf(w, "app_step_seconds_count{op=%q} %d\n", phase, n)
+
+	// Dynamic label keys are left to the runtime linter.
+	fmt.Fprintf(w, "app_jobs{%s=%q} %d\n", "phase", phase, n)
+
+	// Suppressed: a deliberately unpaired debug line.
+	//asm:metric-ok scratch series emitted only under -debug, not scraped
+	fmt.Fprintln(w, "# TYPE app_debug_scratch gauge")
+
+	// Ordinary strings must not be mistaken for samples.
+	fmt.Fprintln(w, "usage: promfix -addr host:port")
+	fmt.Fprintln(w, "phase set to", phase)
+}

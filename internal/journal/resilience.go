@@ -2,12 +2,13 @@ package journal
 
 import (
 	"errors"
-	"math/rand/v2"
+	"hash/fnv"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"asti/internal/fault"
+	"asti/internal/rng"
 )
 
 // The journal's fault-injection sites: one per I/O edge, consulted via
@@ -123,8 +124,12 @@ var DefaultRetryPolicy = RetryPolicy{MaxRetries: 4, Base: 2 * time.Millisecond, 
 // backoff returns the jittered sleep before retry attempt (1-based):
 // a uniform draw from (0, min(Base·2^(attempt-1), Max)] — full jitter,
 // so concurrent writers hitting the same sick disk do not stampede it
-// in lockstep.
-func (rp RetryPolicy) backoff(attempt int) time.Duration {
+// in lockstep. The draw comes from the caller's own source, not the
+// process-global generator: each writer seeds a stream from its log
+// path (see jitterSource), which decorrelates concurrent writers while
+// keeping the whole journal free of ambient nondeterminism — retries
+// replay identically in tests and recovered runs.
+func (rp RetryPolicy) backoff(attempt int, jitter *rng.Source) time.Duration {
 	d := rp.Base << (attempt - 1)
 	if d > rp.Max || d <= 0 {
 		d = rp.Max
@@ -132,7 +137,19 @@ func (rp RetryPolicy) backoff(attempt int) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	return time.Duration(rand.Int64N(int64(d))) + 1
+	if jitter == nil {
+		return d
+	}
+	return time.Duration(jitter.Uint64n(uint64(d))) + 1
+}
+
+// jitterSource builds a writer's backoff stream, seeded from its log
+// path: distinct sessions draw independent jitter, and the same log
+// sees the same retry schedule run after run.
+func jitterSource(path string) *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return rng.New(h.Sum64())
 }
 
 // Option configures a Store at Open.

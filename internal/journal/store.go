@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"asti/internal/fault"
+	"asti/internal/rng"
 )
 
 // walExt is the per-session log file suffix.
@@ -51,9 +52,10 @@ func (st *Store) path(id string) string {
 	return filepath.Join(st.dir, id+walExt)
 }
 
-// newWriter wires a writer to the store's retry policy and counters.
+// newWriter wires a writer to the store's retry policy and counters,
+// and gives it a path-seeded backoff jitter stream of its own.
 func (st *Store) newWriter(f *os.File, path string, off int64) *Writer {
-	return &Writer{f: f, path: path, off: off, retry: st.retry, metrics: &st.metrics}
+	return &Writer{f: f, path: path, off: off, retry: st.retry, metrics: &st.metrics, jitter: jitterSource(path)}
 }
 
 // Sessions returns the ids with a log file in the store, sorted.
@@ -340,6 +342,7 @@ type Writer struct {
 	path    string
 	off     int64 // bytes of committed (written+synced) frames
 	retry   RetryPolicy
+	jitter  *rng.Source // guarded by mu (backoff draws inside AppendFrame)
 	metrics *storeMetrics
 	closed  bool
 }
@@ -395,7 +398,9 @@ func (w *Writer) AppendFrame(frame []byte) error {
 			// The seek matters too: a partial write advanced the fd offset,
 			// and a later append through this handle must not leave a hole.
 			if w.f != nil {
+				//asm:errclass-ok best-effort tail repair under a failing disk; the append error above already carries the class the caller acts on
 				_ = w.f.Truncate(w.off)
+				//asm:errclass-ok best-effort fd reposition; joining it could let Classify match the wrong class on the returned error
 				_, _ = w.f.Seek(w.off, io.SeekStart)
 			}
 			return fmt.Errorf("journal: append %s (%s): %w", t, class, err)
@@ -403,7 +408,7 @@ func (w *Writer) AppendFrame(frame []byte) error {
 		if w.metrics != nil {
 			w.metrics.retries.Add(1)
 		}
-		time.Sleep(w.retry.backoff(attempt + 1))
+		time.Sleep(w.retry.backoff(attempt+1, w.jitter))
 		if rerr := w.reopenLocked(); rerr != nil {
 			if w.metrics != nil {
 				w.metrics.failures.Add(1)
@@ -423,6 +428,7 @@ func (w *Writer) tryAppendLocked(siteWrite, siteSync fault.Site, frame []byte) e
 				// A torn write that really hit the disk before failing: the
 				// retry (or the next recovery scan) must cope with the
 				// dangling prefix.
+				//asm:errclass-ok deliberately torn fault-injection write; the injected error is what this attempt returns
 				_, _ = w.f.Write(frame[:k])
 			}
 			return fmt.Errorf("write %s: %w", w.path, inj.Err)
@@ -468,6 +474,7 @@ func (w *Writer) reopenLocked() error {
 		return err
 	}
 	if w.f != nil {
+		//asm:errclass-ok the old fd is condemned after a failed fsync; its close error says nothing the retry does not
 		_ = w.f.Close()
 	}
 	w.f = f

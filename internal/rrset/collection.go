@@ -367,6 +367,8 @@ func (c *Collection) Prune(newlyActive []int32, alsoStale func(id, rootK int32) 
 // candidate list (nil = all nodes), and its coverage. Ties break toward
 // the smaller node id for determinism (candidate lists are expected in
 // ascending order, as adaptive.State.Inactive always is).
+//
+//asm:hotpath
 func (c *Collection) ArgmaxCoverage(candidates []int32) (best int32, cov int64) {
 	best = -1
 	if candidates == nil {
@@ -401,6 +403,9 @@ func (a heapEntry) before(b heapEntry) bool {
 	return a.node < b.node
 }
 
+// heapPush sifts e up into the lazy-gain heap.
+//
+//asm:hotpath
 func (c *Collection) heapPush(e heapEntry) {
 	c.heap = append(c.heap, e)
 	i := len(c.heap) - 1
@@ -414,6 +419,9 @@ func (c *Collection) heapPush(e heapEntry) {
 	}
 }
 
+// heapPop removes and returns the heap maximum.
+//
+//asm:hotpath
 func (c *Collection) heapPop() heapEntry {
 	top := c.heap[0]
 	last := len(c.heap) - 1
@@ -456,6 +464,8 @@ func (c *Collection) heapPop() heapEntry {
 //
 // candidates restricts selection (nil = all nodes) and must not contain
 // duplicates. Selection stops early once every remaining set is covered.
+//
+//asm:hotpath
 func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32, covered int64) {
 	if b <= 0 {
 		return nil, 0
@@ -505,6 +515,8 @@ func (c *Collection) GreedyMaxCoverage(b int, candidates []int32) (seeds []int32
 // CoverageOf returns the number of stored sets intersecting the node set S.
 // It reuses the epoch-stamped per-set marks, so it allocates nothing after
 // the marks have grown to the pool size.
+//
+//asm:hotpath
 func (c *Collection) CoverageOf(S []int32) int64 {
 	c.buildIndex()
 	epoch := c.nextEpoch()

@@ -145,44 +145,45 @@ type Manager struct {
 	reg *Registry
 
 	mu         sync.Mutex
-	journal    *journal.Store // guarded by mu (Recover may attach late)
-	journalErr error          // deferred WithJournalDir open failure
-	sessions   map[string]*Session
-	nextID     uint64
+	journal    *journal.Store      // guarded by mu (Recover may attach late)
+	journalErr error               // deferred WithJournalDir open failure
+	sessions   map[string]*Session // guarded by mu
+	nextID     uint64              // guarded by mu
 	limit      int
-	creating   int // sessions holding a reserved id while their created record syncs
+	creating   int // guarded by mu; sessions holding a reserved id while their created record syncs
 
-	// Lifecycle-governance counters (guarded by mu). passive tracks the
-	// number of currently passivated sessions so Stats stays O(1).
-	passivations  uint64
-	reactivations uint64
-	passive       int
+	// Lifecycle-governance counters. passive tracks the number of
+	// currently passivated sessions so Stats stays O(1).
+	passivations  uint64 // guarded by mu
+	reactivations uint64 // guarded by mu
+	passive       int    // guarded by mu
 
-	// Resilience state (guarded by mu). durability and breakerCooldown
-	// are set at construction and read-only afterwards. breakerUntil is
-	// the journal-health breaker: non-zero and in the future means open
-	// (Create rejects durable sessions); a Create arriving after it
-	// passes is the probe that closes it.
-	durability           DurabilityPolicy
-	breakerCooldown      time.Duration
-	breakerUntil         time.Time
-	breakerTrips         uint64
-	poisoned             uint64
-	degradedTotal        uint64
-	emergencyCompactions uint64
+	// Resilience configuration, set at construction and read-only
+	// afterwards (no lock needed to read them).
+	durability      DurabilityPolicy
+	breakerCooldown time.Duration
 
-	// Checkpointing configuration and counters (the config fields are
-	// set at construction and read-only afterwards; counters guarded by
-	// mu). graphSigs caches the per-graph structural fingerprint that
-	// checkpoints pin (computed once per distinct graph).
+	// Journal-health breaker state. breakerUntil non-zero and in the
+	// future means open (Create rejects durable sessions); a Create
+	// arriving after it passes is the probe that closes it.
+	breakerUntil         time.Time // guarded by mu
+	breakerTrips         uint64    // guarded by mu
+	poisoned             uint64    // guarded by mu
+	degradedTotal        uint64    // guarded by mu
+	emergencyCompactions uint64    // guarded by mu
+
+	// Checkpointing configuration (ckptEvery, compact: set at
+	// construction, read-only afterwards) and counters. graphSigs caches
+	// the per-graph structural fingerprint that checkpoints pin
+	// (computed once per distinct graph).
 	ckptEvery      int
 	compact        bool
-	graphSigs      map[*graph.Graph]uint64
-	checkpoints    uint64
-	ckptFailures   uint64
-	compactions    uint64
-	compactedBytes uint64
-	ckptRestores   uint64
+	graphSigs      map[*graph.Graph]uint64 // guarded by mu
+	checkpoints    uint64                  // guarded by mu
+	ckptFailures   uint64                  // guarded by mu
+	compactions    uint64                  // guarded by mu
+	compactedBytes uint64                  // guarded by mu
+	ckptRestores   uint64                  // guarded by mu
 
 	// Load-facing throughput counters (atomic, not mu-guarded: proposals
 	// and observations are counted from inside Session calls that hold
@@ -223,7 +224,10 @@ type ManagerOption func(*Manager)
 // before acknowledging them, and Recover can rebuild the session table
 // from the store after a restart.
 func WithJournal(st *journal.Store) ManagerOption {
-	return func(m *Manager) { m.journal = st }
+	return func(m *Manager) {
+		//asm:lock-ok construction-time write; options run before NewManager shares m
+		m.journal = st
+	}
 }
 
 // WithJournalDir is WithJournal over journal.Open(dir). The directory is
@@ -236,6 +240,7 @@ func WithJournalDir(dir string) ManagerOption {
 			m.journalErr = err
 			return
 		}
+		//asm:lock-ok construction-time write; options run before NewManager shares m
 		m.journal = st
 	}
 }
@@ -508,9 +513,11 @@ func (m *Manager) Passivate(id string) (bool, error) {
 func (m *Manager) Registry() *Registry { return m.reg }
 
 // Journaled reports whether the manager write-ahead-logs its sessions.
+// A deferred open failure (WithJournalDir) means no store is attached,
+// so it reports false until the error surfaces on the first Create.
 func (m *Manager) Journaled() bool {
-	st, _ := m.store()
-	return st != nil
+	st, err := m.store()
+	return err == nil && st != nil
 }
 
 // Create builds a session from cfg: it resolves the dataset (loading the
@@ -644,6 +651,9 @@ func journalCreate(st *journal.Store, s *Session, cfg Config) error {
 	}
 	if err := w.AppendFrame(frame); err != nil {
 		w.Close()
+		// Best-effort cleanup of the half-created log: the append failure is
+		// the error the caller must see, with its failure class intact.
+		//asm:errclass-ok joining the unlink error could let Classify match the wrong class upstream
 		_ = st.Remove(s.id)
 		return err
 	}
@@ -876,6 +886,7 @@ func (m *Manager) Close(id string) error {
 		// Best effort: the closed record is already committed, so a log
 		// whose removal fails is recognized (and deleted) by the next
 		// Recover — the close itself succeeded and must report success.
+		//asm:errclass-ok the committed closed record makes a surviving log self-deleting on the next Recover
 		_ = st.Remove(id)
 	}
 	m.closes.Add(1)

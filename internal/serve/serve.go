@@ -114,10 +114,13 @@ func NewSyntheticRegistry(scale float64) *Registry {
 	r := NewRegistry()
 	for _, spec := range gen.Datasets() {
 		spec := spec
-		// Registration cannot collide: the gen registry has unique names.
-		_ = r.RegisterLoader(spec.Name, func() (*graph.Graph, error) {
+		if err := r.RegisterLoader(spec.Name, func() (*graph.Graph, error) {
 			return spec.Generate(scale)
-		})
+		}); err != nil {
+			// The gen registry guarantees unique non-empty names; a collision
+			// here is a programming error, not a runtime condition.
+			panic(fmt.Sprintf("serve: synthetic registry: %v", err))
+		}
 	}
 	return r
 }

@@ -586,12 +586,17 @@ func (s *Session) closeSession(mark bool) (wasPassivated bool) {
 	}
 	s.pending = nil
 	if s.jw != nil {
+		var cerr error
 		if mark {
 			// Best effort: a failed closed-record append at worst resurrects
 			// the session on recovery, where the client can delete it again.
-			_ = s.jw.Append(journal.TypeClosed, nil)
+			cerr = s.jw.Append(journal.TypeClosed, nil)
 		}
-		_ = s.jw.Close()
+		if cerr = errors.Join(cerr, s.jw.Close()); cerr != nil {
+			// The close still succeeds, but the failure is kept visible in
+			// Status instead of vanishing.
+			s.lastFailure = cerr.Error()
+		}
 		s.jw = nil
 	}
 	if wasPassivated && s.passiveCounted {
@@ -605,9 +610,17 @@ func (s *Session) closeSession(mark bool) (wasPassivated bool) {
 			// the next Recover. (mark=false is shutdown — the log must stay
 			// recoverable, and CloseAll resets the gauge itself.)
 			if s.store != nil && s.id != "" {
-				if res, err := s.store.Resume(s.id); err == nil {
-					_ = res.Writer.Append(journal.TypeClosed, nil)
-					_ = res.Writer.Close()
+				rerr := func() error {
+					res, err := s.store.Resume(s.id)
+					if err != nil {
+						return err
+					}
+					return errors.Join(res.Writer.Append(journal.TypeClosed, nil), res.Writer.Close())
+				}()
+				if rerr != nil {
+					// Still best effort — recovery recognizes the unmarked log —
+					// but the failure stays observable in Status.
+					s.lastFailure = rerr.Error()
 				}
 			}
 			if s.mgr != nil {
@@ -666,6 +679,7 @@ func (s *Session) emergencyCompactLocked() error {
 	if s.store == nil || s.id == "" {
 		return errors.New("serve: no store to compact")
 	}
+	//asm:errclass-ok the fd is replaced after a disk-full append; its close error adds nothing to the compaction outcome
 	_ = s.jw.Close()
 	s.jw = nil
 	removed, cerr := s.store.Compact(s.id)
@@ -707,6 +721,7 @@ func (s *Session) journalFailureLocked(err error) error {
 	}
 	if s.durability == DegradeToNonDurable {
 		if s.jw != nil {
+			//asm:errclass-ok the session is already degrading on err; a release-path close error would only obscure its class
 			_ = s.jw.Close()
 			s.jw = nil
 		}
@@ -731,6 +746,7 @@ func (s *Session) failLocked(err error) error {
 	s.phase = PhaseClosed
 	s.pending = nil
 	if s.jw != nil {
+		//asm:errclass-ok the session is being poisoned on err; the release-path close error must not mask it
 		_ = s.jw.Close()
 		s.jw = nil
 	}
@@ -781,6 +797,7 @@ func (s *Session) passivate(now time.Time, minIdle time.Duration) bool {
 	}
 	// No closed record: the log must stay replayable. Everything the
 	// session holds beyond the snapshot is reconstructed from it.
+	//asm:errclass-ok every committed frame is already fsynced, and the frozen snapshot Status cannot carry a late close error
 	_ = s.jw.Close()
 	s.jw = nil
 	s.active = nil
